@@ -1,0 +1,61 @@
+"""FIG1-RUNNING-EXAMPLE: regenerate the Figure 1 running example.
+
+The right half of Figure 1 traces citation values through the GitCite
+operations:
+
+* ``Cite(V1,P1)(f1) = C1`` and after AddCite ``Cite(V2,P1)(f1) = C2``;
+* ``Cite(V3,P2)(f2) = C4`` before CopyCite and ``Cite(V4,P1)(f2) = C4`` after;
+* MergeCite of V2 and V4 produces V5 with the union of both citation
+  functions and no conflicts.
+
+The benchmark times the full scenario construction and the individual
+``Cite`` evaluations, and prints the resolution table the figure implies.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.workloads.scenarios import build_running_example
+
+
+def test_fig1_scenario_construction(benchmark):
+    """Time building the whole running example (P1, P2, V1..V5)."""
+    example = benchmark(build_running_example)
+    assert example.v5
+
+
+def test_fig1_resolution_table(benchmark):
+    """Evaluate and print every Cite(V,P)(n) value the figure shows."""
+    example = build_running_example()
+    manager_p1, manager_p2 = example.manager_p1, example.manager_p2
+    labels = {example.c1: "C1", example.c2: "C2", example.c3: "C3", example.c4: "C4"}
+
+    queries = [
+        ("Cite(V1,P1)(f1)", manager_p1, example.v1, "/f1.py", "C1"),
+        ("Cite(V2,P1)(f1)", manager_p1, example.v2, "/f1.py", "C2"),
+        ("Cite(V2,P1)(lib/util.py)", manager_p1, example.v2, "/lib/util.py", "C1"),
+        ("Cite(V3,P2)(green)", manager_p2, example.v3, "/green", "C4"),
+        ("Cite(V3,P2)(f2)", manager_p2, example.v3, "/green/f2.py", "C4"),
+        ("Cite(V4,P1)(f2)", manager_p1, example.v4, "/green/f2.py", "C4"),
+        ("Cite(V5,P1)(f1)", manager_p1, example.v5, "/f1.py", "C2"),
+        ("Cite(V5,P1)(f2)", manager_p1, example.v5, "/green/f2.py", "C4"),
+        ("Cite(V5,P1)(lib/io.py)", manager_p1, example.v5, "/lib/io.py", "C1"),
+    ]
+
+    def evaluate_all():
+        return [manager.cite(path, ref=ref).citation for _, manager, ref, path, _ in queries]
+
+    resolved = benchmark(evaluate_all)
+
+    rows = []
+    for (label, _, _, _, expected), citation in zip(queries, resolved):
+        got = labels.get(citation, "?")
+        rows.append([label, expected, got, "OK" if got == expected else "MISMATCH"])
+        assert got == expected, label
+    rows.append(["MergeCite(V2,V4) conflicts", "0", str(len(example.merge_outcome.citation_result.conflicts)), "OK"])
+    print_table(
+        "Figure 1 running example — citation resolution",
+        ["query", "paper", "measured", "status"],
+        rows,
+    )

@@ -1,0 +1,103 @@
+"""FIG2-EXTENSION-POPUP: regenerate the browser-extension popup behaviour.
+
+Figure 2 and Section 3 specify the popup's behaviour for members and
+non-members.  The benchmark drives the extension simulator against the hosted
+demonstration repository, prints the member / non-member behaviour matrix,
+and times the two core remote operations (GenCite for a reader, AddCite for a
+member — each a round-trip through the REST API).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.extension.client import ExtensionClient
+from repro.extension.popup import PopupSession
+from repro.workloads.scenarios import build_extension_scenario
+
+
+def _fresh_popup(scenario, token):
+    client = ExtensionClient(scenario.api)
+    popup = PopupSession(client)
+    popup.sign_in(token)
+    popup.open_repository(scenario.slug)
+    return popup
+
+
+def test_fig2_behaviour_matrix(benchmark):
+    """Render the popup for both user classes on cited and uncited nodes."""
+    scenario = build_extension_scenario()
+    scenario.platform.rate_limiter.enabled = False
+
+    def render_views():
+        member = _fresh_popup(scenario, scenario.member_token)
+        visitor = _fresh_popup(scenario, scenario.non_member_token)
+        return {
+            ("member", "cited dir"): member.select_node("/citation/GUI"),
+            ("member", "uncited file"): member.select_node("/schema/eagle_i.sql"),
+            ("non-member", "cited dir"): visitor.select_node("/CoreCover"),
+            ("non-member", "uncited file"): visitor.select_node("/schema/eagle_i.sql"),
+        }
+
+    views = benchmark(render_views)
+
+    expectations = {
+        ("member", "cited dir"): ("explicit citation shown", True, True),
+        ("member", "uncited file"): ("empty box", True, False),
+        ("non-member", "cited dir"): ("generated citation shown", False, False),
+        ("non-member", "uncited file"): ("generated citation shown", False, False),
+    }
+    rows = []
+    for key, view in views.items():
+        paper_text, _, _ = expectations[key]
+        if key[0] == "member" and "cited" in key[1] and key[1] != "uncited file":
+            measured_text = "explicit citation shown" if view.text_box else "empty box"
+        elif key[0] == "member":
+            measured_text = "empty box" if not view.text_box else "explicit citation shown"
+        else:
+            measured_text = "generated citation shown" if view.text_box else "empty box"
+        status = "OK" if measured_text == paper_text else "MISMATCH"
+        rows.append([
+            key[0],
+            key[1],
+            paper_text,
+            measured_text,
+            f"add={'on' if view.add_enabled else 'off'} del={'on' if view.delete_enabled else 'off'}",
+            status,
+        ])
+        assert status == "OK"
+        if key[0] == "non-member":
+            assert not view.add_enabled and not view.delete_enabled
+    print_table(
+        "Figure 2 — popup behaviour (member vs non-member)",
+        ["user", "node", "paper behaviour", "measured behaviour", "buttons", "status"],
+        rows,
+    )
+
+
+def test_fig2_noncmember_gencite_latency(benchmark):
+    """Time a non-member GenCite round trip through the REST API."""
+    scenario = build_extension_scenario()
+    scenario.platform.rate_limiter.enabled = False
+    client = ExtensionClient(scenario.api, token=scenario.non_member_token)
+
+    def generate():
+        return client.generate_citation(scenario.slug, "/CoreCover/corecover.py")
+
+    resolved = benchmark(generate)
+    assert resolved.citation.owner == "Chen Li"
+
+
+def test_fig2_member_add_delete_latency(benchmark):
+    """Time a member AddCite+DelCite round trip (two remote commits)."""
+    scenario = build_extension_scenario()
+    client = ExtensionClient(scenario.api, token=scenario.member_token)
+    citation = scenario.demo.manager.default_root_citation(authors=["Bench Author"])
+    scenario.platform.rate_limiter.enabled = False
+
+    def add_then_delete():
+        client.add_citation(scenario.slug, "/README.md", citation)
+        client.delete_citation(scenario.slug, "/README.md")
+
+    benchmark(add_then_delete)
+    assert client.view_node(scenario.slug, "/README.md").explicit_citation is None

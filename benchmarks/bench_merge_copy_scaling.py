@@ -1,0 +1,124 @@
+"""EXTRA-MERGE-COPY-SCALE: MergeCite and CopyCite cost vs workload size.
+
+MergeCite unions two citation maps and drops entries for deleted files;
+CopyCite re-roots a subtree's entries.  Both should scale linearly in the
+number of citation entries involved, independent of total repository history.
+This bench sweeps the number of per-branch citations (merge) and the copied
+subtree size (copy) and prints the measured scaling table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.citation.conflict import NewestStrategy
+from repro.citation.copy import copy_citations
+from repro.citation.function import CitationFunction
+from repro.citation.manager import CitationManager
+from repro.citation.merge import merge_citation_functions
+from repro.vcs.repository import Repository
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_branch_pair,
+    generate_citation,
+    generate_repository,
+)
+
+import random
+
+MERGE_SIZES = [10, 50, 200]
+COPY_SIZES = [10, 100, 1_000]
+
+
+@pytest.mark.parametrize("citations_per_branch", MERGE_SIZES)
+def test_mergecite_end_to_end(benchmark, citations_per_branch):
+    """Full MergeCite (git merge + citation union + commit) vs citations per branch."""
+    pair = generate_branch_pair(
+        WorkloadConfig(seed=41, num_files=max(4 * citations_per_branch, 120)),
+        citations_per_branch=citations_per_branch,
+        conflict_fraction=0.2,
+    )
+
+    def merge():
+        outcome = pair.manager.merge_cite(pair.theirs_branch, strategy=NewestStrategy())
+        # Rewind so every benchmark round merges the same pair of branches.
+        pair.repo.checkout(pair.ours_branch)
+        pair.manager.reload()
+        pair.repo.refs.set_branch(pair.ours_branch, pair.repo.head_oid())
+        return outcome
+
+    outcome = benchmark.pedantic(merge, iterations=1, rounds=10)
+    assert outcome.citation_result.function.has_root
+
+
+@pytest.mark.parametrize("subtree_files", COPY_SIZES)
+def test_copycite_citation_migration(benchmark, subtree_files, sample_rng=random.Random(5)):
+    """Pure citation migration cost of CopyCite vs copied subtree size."""
+    rng = random.Random(11)
+    source = CitationFunction.with_root(generate_citation(rng, repo_name="source"))
+    for index in range(subtree_files):
+        source.put(f"/pkg/m{index // 50}/f{index}.py", generate_citation(rng), False)
+    destination_template = CitationFunction.with_root(generate_citation(rng, repo_name="dest"))
+
+    def migrate():
+        destination = destination_template.copy()
+        return copy_citations(source, "/pkg", destination, "/vendor/pkg")
+
+    result = benchmark(migrate)
+    assert result.migrated_count >= subtree_files
+
+
+def test_merge_copy_scaling_table(benchmark):
+    """Print union cost and conflict counts across the sweep."""
+    rows = []
+    rng = random.Random(3)
+    for entries in [100, 1_000, 5_000]:
+        ours = CitationFunction.with_root(generate_citation(rng, repo_name="ours"))
+        theirs = CitationFunction.with_root(generate_citation(rng, repo_name="ours"))
+        for index in range(entries):
+            path = f"/dir{index % 37}/file{index}.py"
+            ours.put(path, generate_citation(rng), False)
+            if index % 3 == 0:
+                theirs.put(path, generate_citation(rng), False)  # same key, different value
+            else:
+                theirs.put(f"/theirs/only{index}.py", generate_citation(rng), False)
+        start = time.perf_counter()
+        result = merge_citation_functions(ours, theirs, strategy=NewestStrategy())
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        rows.append(
+            [entries, len(result.function), len(result.conflicts), f"{elapsed_ms:.1f}"]
+        )
+    print_table(
+        "EXTRA-MERGE-COPY-SCALE — citation-function union (MergeCite core)",
+        ["entries / branch", "merged entries", "conflicts", "union ms"],
+        rows,
+    )
+    assert rows
+
+
+def test_copycite_end_to_end_repository(benchmark):
+    """CopyCite through the manager, including file copies, on a mid-size subtree."""
+    source_workload = generate_repository(WorkloadConfig(seed=51, num_files=200, citation_density=0.2))
+    source_repo = source_workload.repo
+    source_dirs = [d for d in source_repo.list_directories() if d != "/"]
+    subtree = max(source_dirs, key=lambda d: len(source_repo.list_files(d)))
+
+    counter = iter(range(10_000))
+
+    def copy_into_fresh_repo():
+        index = next(counter)
+        destination = Repository.init("dest", "bench")
+        destination.write_file("README.md", "dest\n")
+        destination.commit("init")
+        manager = CitationManager(destination)
+        manager.init_citations()
+        outcome = manager.copy_cite(source_repo, subtree, f"/vendor{index}")
+        manager.commit("CopyCite")
+        return outcome
+
+    outcome = benchmark.pedantic(copy_into_fresh_repo, iterations=1, rounds=10)
+    assert outcome.copied_files

@@ -1,0 +1,94 @@
+"""EXTRA-OPERATOR-THROUGHPUT: AddCite/DelCite/ModifyCite/GenCite throughput.
+
+Section 3 makes every citation operation a side-effect on ``citation.cite``
+that the next commit snapshots.  This bench measures (a) raw operator
+throughput on the in-memory citation function, and (b) the end-to-end cost of
+an operation performed through the manager followed by a commit (file
+serialisation + tree/commit object creation), which is what a user of the
+local tool experiences.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.citation.operators import apply_operations
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_operation_trace,
+    generate_repository,
+)
+
+TRACE_LENGTH = 500
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_repository(WorkloadConfig(seed=31, num_files=300, citation_density=0.1))
+
+
+def test_operator_trace_throughput(benchmark, workload):
+    """Replay a mixed 500-operation trace against the citation function."""
+    trace = generate_operation_trace(workload, TRACE_LENGTH)
+
+    def replay():
+        function = workload.manager.citation_function().copy()
+        return apply_operations(function, trace)
+
+    results = benchmark(replay)
+    assert len(results) == TRACE_LENGTH
+
+
+def test_gencite_only_throughput(benchmark, workload):
+    """GenCite-only trace (read-mostly workload of the browser extension)."""
+    trace = generate_operation_trace(workload, TRACE_LENGTH, mix={"generate": 1.0})
+    function = workload.manager.citation_function()
+
+    def replay():
+        return apply_operations(function, trace)
+
+    benchmark(replay)
+
+
+def test_addcite_plus_commit_cost(benchmark, workload):
+    """End-to-end cost of one AddCite through the manager plus the commit."""
+    manager = workload.manager
+    uncited = iter([p for p in workload.file_paths if p not in set(workload.cited_paths)] * 50)
+
+    def add_and_commit():
+        path = next(uncited)
+        manager.add_cite(path, manager.default_root_citation(authors=["Bench"]))
+        manager.commit(f"AddCite {path}")
+
+    benchmark.pedantic(add_and_commit, iterations=1, rounds=30)
+
+
+def test_operator_throughput_table(benchmark):
+    """Print operations/second per operator kind."""
+    # A fresh workload: the module fixture's citation function is mutated by
+    # the commit-cost benchmark above, which would invalidate the traces.
+    workload = generate_repository(WorkloadConfig(seed=32, num_files=300, citation_density=0.1))
+    kinds = {
+        "GenCite": {"generate": 1.0},
+        "AddCite": {"add": 1.0},
+        "ModifyCite": {"modify": 1.0},
+        "DelCite+AddCite mix": {"add": 0.5, "delete": 0.5},
+    }
+    rows = []
+    for label, mix in kinds.items():
+        trace = generate_operation_trace(workload, 400, mix=mix)  # bounded by available paths
+        function = workload.manager.citation_function().copy()
+        start = time.perf_counter()
+        apply_operations(function, trace)
+        elapsed = time.perf_counter() - start
+        rows.append([label, len(trace), f"{len(trace) / elapsed:,.0f}"])
+    print_table(
+        "EXTRA-OPERATOR-THROUGHPUT — citation operators (in-memory)",
+        ["operator mix", "operations", "ops / second"],
+        rows,
+    )
+    assert rows

@@ -1,0 +1,80 @@
+"""EXTRA-RESOLUTION-SCALE: cost of Cite(V,P)(n) vs tree size and citation density.
+
+The paper's model (Section 2) resolves a node's citation by walking to its
+closest cited ancestor, so resolution cost should grow with path depth — not
+with repository size — and should be insensitive to citation density except
+through the length of that walk.  This bench sweeps both dimensions and
+prints the measured table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.workloads.generator import generate_citation_function, generate_tree_paths
+
+TREE_SIZES = [100, 1_000, 10_000]
+DENSITIES = [0.01, 0.1, 0.5]
+
+
+def _build(num_files: int, density: float):
+    rng = random.Random(42)
+    paths = generate_tree_paths(rng, num_files, max_depth=6, branching=6)
+    function, _ = generate_citation_function(random.Random(42), paths, density=density)
+    probes = random.Random(7).sample(paths, min(200, len(paths)))
+    return function, probes
+
+
+@pytest.mark.parametrize("num_files", TREE_SIZES)
+def test_resolution_cost_vs_tree_size(benchmark, num_files):
+    """Resolution throughput at 10% density for growing trees."""
+    function, probes = _build(num_files, density=0.1)
+
+    def resolve_probes():
+        return [function.resolve(path) for path in probes]
+
+    resolved = benchmark(resolve_probes)
+    assert len(resolved) == len(probes)
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_resolution_cost_vs_density(benchmark, density):
+    """Resolution throughput on a fixed tree as the cited fraction grows."""
+    function, probes = _build(2_000, density=density)
+
+    def resolve_probes():
+        return [function.resolve(path) for path in probes]
+
+    benchmark(resolve_probes)
+
+
+def test_resolution_scaling_table(benchmark):
+    """Print the full sweep as one table (microseconds per resolution)."""
+    rows = []
+    for num_files in TREE_SIZES:
+        for density in DENSITIES:
+            function, probes = _build(num_files, density)
+            start = time.perf_counter()
+            repetitions = 5
+            for _ in range(repetitions):
+                for path in probes:
+                    function.resolve(path)
+            elapsed = time.perf_counter() - start
+            per_call_us = elapsed / (repetitions * len(probes)) * 1e6
+            explicit_fraction = sum(
+                1 for p in probes if function.get_explicit(p) is not None
+            ) / len(probes)
+            rows.append(
+                [num_files, density, len(function), f"{per_call_us:.2f}", f"{explicit_fraction:.2f}"]
+            )
+    print_table(
+        "EXTRA-RESOLUTION-SCALE — Cite(V,P)(n) cost",
+        ["files", "density", "explicit entries", "us / resolution", "explicit hit rate"],
+        rows,
+    )
+    assert rows

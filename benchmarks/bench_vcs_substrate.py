@@ -1,0 +1,126 @@
+"""EXTRA-VCS-SUBSTRATE: sanity benchmarks of the version-control substrate.
+
+GitCite's operations are only as fast as the underlying VCS operations they
+ride on (commit, diff, merge, fork, push).  These benches characterise the
+pure-Python substrate so the citation-layer numbers elsewhere can be read in
+context, and print a small table of operation costs vs repository size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.vcs.diff import diff_trees
+from repro.vcs.remote import clone_repository, fork_repository, push
+from repro.vcs.repository import Repository
+from repro.workloads.generator import WorkloadConfig, generate_repository
+
+REPO_SIZES = [50, 200, 800]
+
+
+def _repo(num_files: int) -> Repository:
+    return generate_repository(WorkloadConfig(seed=71, num_files=num_files)).repo
+
+
+@pytest.mark.parametrize("num_files", REPO_SIZES)
+def test_commit_cost(benchmark, num_files):
+    """Commit cost (stage whole worktree + build trees) vs repository size."""
+    repo = _repo(num_files)
+    counter = iter(range(100_000))
+
+    def edit_and_commit():
+        repo.write_file("/bench_target.txt", f"revision {next(counter)}\n")
+        return repo.commit("bench edit")
+
+    benchmark.pedantic(edit_and_commit, iterations=1, rounds=5)
+
+
+@pytest.mark.parametrize("num_files", REPO_SIZES)
+def test_diff_cost(benchmark, num_files):
+    """Tree diff (with rename detection) between consecutive versions."""
+    repo = _repo(num_files)
+    first = repo.head_oid()
+    paths = repo.list_files()
+    for path in paths[: max(5, len(paths) // 20)]:
+        repo.write_file(path, "edited for diff bench\n")
+    second = repo.commit("edit a slice of files")
+
+    def run_diff():
+        return diff_trees(repo.store, repo.store.get_commit(first).tree_oid,
+                          repo.store.get_commit(second).tree_oid)
+
+    diff = benchmark(run_diff)
+    assert diff.modified
+
+
+def test_branch_merge_cost(benchmark):
+    """Three-way merge of two branches touching disjoint files (200-file repo)."""
+    repo = _repo(200)
+    repo.create_branch("left")
+    repo.create_branch("right")
+    repo.checkout("left")
+    repo.write_file("/left_only.txt", "left\n")
+    repo.commit("left work")
+    repo.checkout("right")
+    repo.write_file("/right_only.txt", "right\n")
+    repo.commit("right work")
+    repo.checkout("left")
+
+    def merge():
+        outcome = repo.merge("right")
+        # Rewind the branch so every round performs the same merge.
+        repo.refs.set_branch("left", repo.store.get_commit(outcome.commit_oid).parent_oids[0])
+        repo.checkout("left")
+        return outcome
+
+    outcome = benchmark.pedantic(merge, iterations=1, rounds=10)
+    assert not outcome.fast_forward
+
+
+def test_fork_and_push_cost(benchmark):
+    """Fork a 200-file repository and push one new commit back."""
+    origin = _repo(200)
+
+    counter = iter(range(10_000))
+
+    def fork_edit_push():
+        fork = fork_repository(origin, new_owner="bench-user")
+        fork.write_file("/fork_note.md", f"hello from fork round {next(counter)}\n")
+        fork.commit("fork note")
+        return push(fork, origin, force=True)
+
+    benchmark.pedantic(fork_edit_push, iterations=1, rounds=5)
+
+
+def test_vcs_substrate_table(benchmark):
+    """Print commit / clone / snapshot costs across repository sizes."""
+    rows = []
+    for num_files in REPO_SIZES:
+        repo = _repo(num_files)
+
+        start = time.perf_counter()
+        repo.write_file("/table_probe.txt", "probe\n")
+        repo.commit("probe commit")
+        commit_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        clone_repository(repo)
+        clone_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        snapshot = repo.snapshot()
+        snapshot_ms = (time.perf_counter() - start) * 1e3
+
+        rows.append(
+            [num_files, len(repo.store), f"{commit_ms:.1f}", f"{clone_ms:.1f}", f"{snapshot_ms:.1f}"]
+        )
+        assert len(snapshot) >= num_files
+    print_table(
+        "EXTRA-VCS-SUBSTRATE — substrate operation costs",
+        ["files", "objects", "commit ms", "clone ms", "snapshot ms"],
+        rows,
+    )

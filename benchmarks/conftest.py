@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module corresponds to one experiment id from DESIGN.md
+(FIG1-*, LISTING1-*, FIG2-*, EXTRA-*).  Besides timing with pytest-benchmark,
+each module *prints* the artifact or table it regenerates (the paper is a demo
+paper, so its "results" are behaviours and a citation file rather than
+numbers); EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.utils.timeutil import FixedClock, reset_clock, set_clock
+
+
+@pytest.fixture(autouse=True)
+def _fixed_clock():
+    """Benchmarks run under a deterministic clock, like the tests."""
+    set_clock(FixedClock(datetime(2018, 9, 1, 12, 0, 0, tzinfo=timezone.utc), step_seconds=60))
+    yield
+    reset_clock()
+
+
+#: Tables collected during the run; echoed after the benchmark summary (so they
+#: survive pytest's output capture) and written to ``benchmarks/experiment_tables.txt``.
+_COLLECTED_TABLES: list[str] = []
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a small fixed-width table (the regenerated experiment output)."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [f"=== {title} ===",
+             "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)),
+             "  ".join("-" * width for width in widths)]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    _COLLECTED_TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every regenerated experiment table after the benchmark summary."""
+    if not _COLLECTED_TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "regenerated experiment tables (see EXPERIMENTS.md)")
+    for table in _COLLECTED_TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    results_path = Path(__file__).parent / "experiment_tables.txt"
+    results_path.write_text("\n\n".join(_COLLECTED_TABLES) + "\n", encoding="utf-8")
+    terminalreporter.write_line(f"\n(tables also written to {results_path})")

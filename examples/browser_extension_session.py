@@ -1,0 +1,76 @@
+"""An interactive-style walkthrough of the GitCite browser extension (Figure 2).
+
+Run with::
+
+    python examples/browser_extension_session.py
+
+Hosts the demonstration repository on the simulated platform, then shows the
+popup as seen by (a) an outside researcher who only wants a citation to paste
+into their bibliography manager, and (b) the project owner who attaches,
+modifies and deletes citations — including the permission checks that stop
+non-members from editing the citation file.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PermissionDeniedError
+from repro.extension.client import ExtensionClient
+from repro.extension.popup import PopupSession
+from repro.workloads.scenarios import build_extension_scenario
+
+
+def show(view) -> None:
+    for line in view.as_lines():
+        print("   " + line)
+    print()
+
+
+def main() -> None:
+    scenario = build_extension_scenario()
+    print(f"Hosted repository: {scenario.slug} on the simulated platform\n")
+
+    # ----------------------------------------------------------------- reader
+    print("=== 1. An outside researcher (not a project member) ===")
+    reader = PopupSession(ExtensionClient(scenario.api))
+    reader.sign_in(scenario.non_member_token)
+    reader.open_repository(scenario.slug)
+    print(" The researcher clicks on the imported CoreCover code:")
+    show(reader.select_node("/CoreCover/corecover.py"))
+    print(" The citation is generated immediately and can be copy-pasted;")
+    print(" the Add/Delete buttons are disabled because they are not a member.\n")
+
+    try:
+        reader.client.delete_citation(scenario.slug, "/CoreCover")
+    except PermissionDeniedError as exc:
+        print(f" Attempting to delete anyway is rejected by the platform: {exc}\n")
+
+    # ----------------------------------------------------------------- member
+    print("=== 2. The project owner (a member) ===")
+    owner = PopupSession(ExtensionClient(scenario.api))
+    owner.sign_in(scenario.member_token)
+    owner.open_repository(scenario.slug)
+
+    print(" Clicking the GUI directory shows its explicit citation (editable):")
+    show(owner.select_node("/citation/GUI"))
+
+    print(" Clicking an uncited file shows an empty box; the owner presses")
+    print(" 'Generate Citation' to start from the closest ancestor's citation,")
+    print(" then presses Add:")
+    show(owner.select_node("/schema/eagle_i.sql"))
+    owner.press_generate()
+    commit = owner.press_add()
+    print(f" -> the extension committed the updated citation.cite as {commit[:7]}\n")
+    show(owner.select_node("/schema/eagle_i.sql"))
+
+    print(" Finally the owner deletes that citation again:")
+    owner.press_delete()
+    show(owner.select_node("/schema/eagle_i.sql"))
+
+    hosted = scenario.platform.get_repository(scenario.slug)
+    print("Most recent commits on the hosted repository (made by the extension):")
+    for info in hosted.repo.log(limit=4):
+        print(f"  {info.oid[:7]}  {info.summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: citation-enable a project and generate citations for its files.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small in-memory repository, enables GitCite citations,
+attaches a citation to an imported module, and prints the citations a user
+would obtain for several paths (including BibTeX and CITATION.cff renderings).
+"""
+
+from __future__ import annotations
+
+from repro.citation import CitationManager
+from repro.formats import render
+from repro.vcs import Repository
+
+
+def main() -> None:
+    # 1. An ordinary project repository (this would normally be your checkout).
+    repo = Repository.init("orbit-sim", "alice", description="A small orbital mechanics simulator")
+    repo.write_file("src/integrator.py", "def step(state, dt):\n    return state\n")
+    repo.write_file("src/vendored/kepler.py", "# solver imported from Bob's toolkit\n")
+    repo.write_file("docs/usage.md", "# Usage\n")
+    repo.commit("initial import")
+
+    # 2. Citation-enable it: citation.cite is created with a default root citation.
+    citations = CitationManager(repo)
+    citations.init_citations(citations.default_root_citation(authors=["Alice Smith"]))
+    citations.commit("enable citations")
+
+    # 3. Credit the vendored solver to its actual author (AddCite).
+    kepler_citation = citations.default_root_citation(
+        authors=["Bob Jones"],
+        title="Kepler equation solver",
+    ).with_changes(repo_name="kepler-toolkit", owner="bob", url="https://github.com/bob/kepler-toolkit")
+    citations.add_cite("/src/vendored/kepler.py", kepler_citation)
+    citations.commit("AddCite for the vendored Kepler solver")
+
+    # 4. Generate citations (GenCite): explicit where attached, inherited elsewhere.
+    print("== Who gets credit for each file ==")
+    for path in ("/src/integrator.py", "/src/vendored/kepler.py", "/docs/usage.md"):
+        resolved = citations.cite(path)
+        origin = "explicit" if resolved.is_explicit else f"inherited from {resolved.source_path}"
+        print(f"{path:<30} -> {resolved.citation.primary_author:<12} ({origin})")
+
+    # 5. Export ready-to-paste bibliography entries.
+    print("\n== BibTeX for the vendored solver ==")
+    print(render(citations.cite("/src/vendored/kepler.py").citation, "bibtex",
+                 cited_path="/src/vendored/kepler.py"))
+    print("== CITATION.cff for the whole project ==")
+    print(render(citations.cite("/").citation, "cff"))
+
+
+if __name__ == "__main__":
+    main()

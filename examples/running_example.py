@@ -1,0 +1,50 @@
+"""The paper's Figure 1 running example, replayed step by step.
+
+Run with::
+
+    python examples/running_example.py
+
+Builds projects P1 and P2, applies AddCite, CopyCite and MergeCite exactly as
+the right half of Figure 1 describes, and prints the citation of each node
+before and after every operation so the C1/C2/C3/C4 values can be followed.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.scenarios import build_running_example
+
+
+def main() -> None:
+    example = build_running_example()
+    labels = {example.c1: "C1", example.c2: "C2", example.c3: "C3", example.c4: "C4"}
+
+    def show(title: str, manager, ref: str, paths: list[str]) -> None:
+        print(f"\n-- {title} --")
+        for path in paths:
+            resolved = manager.cite(path, ref=ref)
+            label = labels.get(resolved.citation, "?")
+            marker = "explicit" if resolved.is_explicit else f"inherited from {resolved.source_path}"
+            print(f"  Cite({path:<18}) = {label}   [{marker}]")
+
+    print("Project P1 owned by Leshang; project P2 owned by Susan.")
+    show("V1 of P1: only the root citation C1 exists", example.manager_p1, example.v1,
+         ["/", "/f1.py", "/lib/util.py"])
+    show("V2 of P1: AddCite attached C2 to f1", example.manager_p1, example.v2,
+         ["/f1.py", "/lib/util.py"])
+    show("V3 of P2: root cited C3, green subtree cited C4", example.manager_p2, example.v3,
+         ["/", "/green", "/green/f2.py"])
+    show("V4 of P1: CopyCite brought the green subtree (f2 still resolves to C4)",
+         example.manager_p1, example.v4, ["/green", "/green/f2.py", "/f1.py"])
+    show("V5 of P1: MergeCite of V2 and V4 (union of both citation functions)",
+         example.manager_p1, example.v5, ["/f1.py", "/green/f2.py", "/lib/io.py"])
+
+    result = example.merge_outcome.citation_result
+    print(f"\nMergeCite reported {len(result.conflicts)} conflict(s) "
+          f"and dropped {len(result.dropped_paths)} orphaned entr(y/ies) — "
+          "the example merges cleanly, as in the paper.")
+    print("\nFinal citation.cite of V5:")
+    print(example.p1.read_file_at(example.v5, "/citation.cite").decode())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""A full collaboration tour: fork, copy, merge, release with a DOI, retro-cite.
+
+Run with::
+
+    python examples/team_collaboration.py
+
+This example exercises the parts of GitCite that go beyond a single user:
+
+1. a research group citation-enables their analysis pipeline;
+2. CopyCite imports a solver from another group's repository, keeping credit;
+3. a student's branch is merged with MergeCite (with a citation conflict
+   resolved by the three-way strategy);
+4. the release is archived on the simulated Zenodo, and the minted DOI flows
+   back into the root citation;
+5. ForkCite gives a collaborator their own credited fork;
+6. a legacy repository without citations is retro-cited from its history.
+"""
+
+from __future__ import annotations
+
+from repro.archive.zenodo import ZenodoSimulator
+from repro.citation import CitationManager
+from repro.citation.conflict import NewestStrategy, ThreeWayStrategy
+from repro.citation.retro import retrofit
+from repro.formats import render
+from repro.vcs import Repository
+
+
+def build_solver_repo() -> Repository:
+    solver = Repository.init("fast-solver", "numerics-lab", description="Sparse solver library")
+    solver.write_file("solver/cg.py", "def conjugate_gradient(A, b):\n    return b\n")
+    solver.write_file("solver/precond.py", "def jacobi(A):\n    return A\n")
+    solver.commit("solver implementation", author_name="Numerics Lab")
+    manager = CitationManager(solver)
+    manager.init_citations(manager.default_root_citation(authors=["Dana Kim", "Evan Ross"]))
+    manager.commit("enable citations")
+    return solver
+
+
+def main() -> None:
+    # 1. The pipeline repository.
+    pipeline = Repository.init("climate-pipeline", "geo-group", description="Climate analysis pipeline")
+    pipeline.write_file("pipeline/ingest.py", "def ingest():\n    return []\n")
+    pipeline.write_file("pipeline/stats.py", "def summarise(x):\n    return x\n")
+    pipeline.commit("initial pipeline", author_name="Grace Zhou")
+    citations = CitationManager(pipeline)
+    citations.init_citations(citations.default_root_citation(authors=["Grace Zhou", "Wei Hu"]))
+    citations.commit("enable citations")
+    print("1. Pipeline citation-enabled; root citation:",
+          citations.cite("/").citation.primary_author)
+
+    # 2. CopyCite the solver from the numerics lab.
+    solver = build_solver_repo()
+    outcome = citations.copy_cite(solver, "/solver", "/vendor/solver")
+    citations.commit("CopyCite fast-solver from numerics-lab")
+    print(f"2. CopyCite imported {len(outcome.copied_files)} file(s); "
+          f"/vendor/solver/cg.py is credited to "
+          f"{', '.join(citations.cite('/vendor/solver/cg.py').citation.authors)}")
+
+    # 3. A student's branch, merged with MergeCite.
+    pipeline.create_branch("student-viz")
+    pipeline.checkout("student-viz")
+    citations.reload()
+    pipeline.write_file("viz/maps.py", "def draw():\n    pass\n")
+    citations.add_cite("/viz", citations.default_root_citation(authors=["Ira Student"]))
+    # The student also tweaks the root citation — this will conflict with main.
+    citations.modify_cite("/", citations.cite("/").citation.with_changes(title="Climate pipeline (viz)"))
+    citations.commit("visualisation work", author_name="Ira Student")
+
+    pipeline.checkout("main")
+    citations.reload()
+    citations.modify_cite("/", citations.cite("/").citation.with_changes(title="Climate pipeline"))
+    citations.commit("retitle project", author_name="Grace Zhou")
+
+    # Both branches retitled the root citation, so the base-aware three-way
+    # strategy cannot decide alone; it falls back to keeping the newest value.
+    merge = citations.merge_cite("student-viz", strategy=ThreeWayStrategy(fallback=NewestStrategy()))
+    print(f"3. MergeCite merged the student branch: {len(merge.citation_result.conflicts)} citation "
+          f"conflict(s), {merge.citation_result.auto_resolved_count} auto-resolved; "
+          f"/viz/maps.py credits {citations.cite('/viz/maps.py').citation.authors[0]}")
+
+    # 4. Release on (simulated) Zenodo and record the DOI.
+    zenodo = ZenodoSimulator()
+    deposit, updated_root = zenodo.publish_release(citations, version_label="v1.0.0")
+    citations.commit("record DOI for release v1.0.0")
+    print(f"4. Published release v1.0.0 with DOI {deposit.doi}; the root citation now carries it.")
+    print("   BibTeX for the released pipeline:")
+    print("   " + render(updated_root, "bibtex").replace("\n", "\n   "))
+
+    # 5. ForkCite for a collaborator.
+    fork = citations.fork_cite("ocean-group", new_name="ocean-pipeline")
+    fork_root = fork.cite("/").citation
+    print(f"5. ForkCite created {fork.repo.full_name}; its root citation credits "
+          f"{', '.join(fork_root.authors)} and records forkedFrom="
+          f"{dict(fork_root.extra)['forkedFrom']}")
+    print(f"   The imported solver still credits {fork.cite('/vendor/solver/cg.py').citation.authors}")
+
+    # 6. Retroactively citation-enable a legacy repository.
+    legacy = Repository.init("legacy-scripts", "geo-group", description="Old analysis scripts")
+    legacy.write_file("scripts/clean.py", "v1\n")
+    legacy.commit("cleaning scripts", author_name="Grace Zhou")
+    legacy.write_file("scripts/plot.py", "v1\n")
+    legacy.commit("plotting", author_name="Ira Student")
+    legacy.write_file("scripts/clean.py", "v2\n")
+    legacy.commit("fix cleaning", author_name="Wei Hu")
+    report = retrofit(legacy, granularity="file")
+    print(f"6. Retro-cited the legacy repository: {report.entries_created} entries generated from "
+          f"{report.commits_scanned} commits; contributors found: {', '.join(report.contributors)}")
+    legacy_manager = CitationManager(legacy)
+    print(f"   scripts/plot.py is now credited to "
+          f"{legacy_manager.cite('/scripts/plot.py').citation.authors}")
+
+
+if __name__ == "__main__":
+    main()

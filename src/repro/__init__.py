@@ -1,0 +1,44 @@
+"""GitCite reproduction: automated software citation for version-controlled repositories.
+
+This library is a from-scratch reproduction of *"Automating Software Citation
+using GitCite"* (Chen & Davidson).  It contains the paper's citation model and
+both GitCite components (the browser extension and the local executable tool),
+plus every substrate they need, implemented in pure Python:
+
+* :mod:`repro.vcs` — a content-addressable version-control system with Git
+  semantics (the substrate the paper builds on);
+* :mod:`repro.hub` — a hosting-platform simulator standing in for GitHub,
+  with users, permissions, forks and a REST-style API;
+* :mod:`repro.citation` — the citation model: citation functions with
+  closest-ancestor resolution, the ``citation.cite`` file, AddCite / DelCite /
+  ModifyCite / GenCite, CopyCite / MergeCite / ForkCite, conflict-resolution
+  strategies, consistency checking and retroactive citation;
+* :mod:`repro.extension` — the browser-extension simulator (Figure 2);
+* :mod:`repro.cli` — the ``gitcite`` local executable tool;
+* :mod:`repro.formats` — BibTeX / CFF / RIS / APA / DataCite renderings;
+* :mod:`repro.archive` — Zenodo-style DOI minting and Software Heritage
+  identifiers;
+* :mod:`repro.workloads` — the paper's scenarios (Figure 1, Listing 1,
+  Figure 2) and synthetic workload generators for the benchmarks.
+
+Quick start::
+
+    from repro.vcs import Repository
+    from repro.citation import CitationManager
+
+    repo = Repository.init("my-project", "alice")
+    repo.write_file("src/model.py", "def train(): ...\\n")
+    repo.commit("initial commit")
+
+    citations = CitationManager(repo)
+    citations.init_citations()          # attach the default root citation
+    citations.commit("enable citations")
+    print(citations.cite("/src/model.py").citation)
+"""
+
+from repro.citation import Citation, CitationFunction, CitationManager
+from repro.vcs import Repository
+
+__version__ = "1.0.0"
+
+__all__ = ["Citation", "CitationFunction", "CitationManager", "Repository", "__version__"]

@@ -1,0 +1,30 @@
+"""Archival and persistent-identifier simulators.
+
+The paper points at two persistence backends for cited software:
+
+* Zenodo, where "a released version of a software project may be treated as
+  open-access data and uploaded ... which provides a DOI" (Section 1);
+* the Software Heritage archive, named in Section 5 as the integration target
+  for future work.
+
+Neither service is reachable offline, so this package provides local
+equivalents with the same observable behaviour:
+
+* :mod:`zenodo` — deposits, versioned DOI minting, publishing a repository
+  release and feeding the DOI back into its root citation;
+* :mod:`swhid` — intrinsic Software Heritage identifiers (SWHIDs) computed
+  from our content-addressed objects, for contents, directories and
+  revisions.
+"""
+
+from repro.archive.swhid import directory_swhid, content_swhid, revision_swhid, snapshot_swhid
+from repro.archive.zenodo import Deposit, ZenodoSimulator
+
+__all__ = [
+    "Deposit",
+    "ZenodoSimulator",
+    "content_swhid",
+    "directory_swhid",
+    "revision_swhid",
+    "snapshot_swhid",
+]

@@ -1,0 +1,178 @@
+"""A Zenodo-style deposit and DOI-minting simulator.
+
+Section 1 of the paper: *"A released version of a software project may be
+treated as open-access data and uploaded to public hosting platform like
+Zenodo which provides a DOI, thus enabling more traditional citations and
+ensuring persistence."*
+
+The simulator reproduces the workflow that matters to GitCite:
+
+1. create a *deposit* for a repository release (a specific version);
+2. attach DataCite metadata generated from the release's root citation;
+3. *publish* the deposit, which mints a DOI — plus a *concept DOI* shared by
+   all versions of the same software, as Zenodo does;
+4. feed the DOI back into the repository's root citation so subsequently
+   generated citations carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Optional
+
+from repro.errors import DepositError
+from repro.citation.record import Citation
+from repro.formats.datacite import datacite_payload
+from repro.utils.timeutil import now_utc
+
+__all__ = ["Deposit", "ZenodoSimulator"]
+
+DOI_PREFIX = "10.5281"
+
+
+@dataclass
+class Deposit:
+    """One deposit (a version of a software record) on the archive."""
+
+    deposit_id: int
+    concept_id: int
+    title: str
+    version_label: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+    files: dict[str, bytes] = field(default_factory=dict)
+    published: bool = False
+    doi: Optional[str] = None
+    concept_doi: Optional[str] = None
+    created_at: Optional[datetime] = None
+    published_at: Optional[datetime] = None
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(data) for data in self.files.values())
+
+
+class ZenodoSimulator:
+    """An in-process stand-in for the Zenodo deposit/DOI API."""
+
+    def __init__(self, doi_prefix: str = DOI_PREFIX) -> None:
+        self.doi_prefix = doi_prefix
+        self._deposits: dict[int, Deposit] = {}
+        self._concepts: dict[str, int] = {}
+        self._next_id = 1000000
+
+    # ------------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def create_deposit(
+        self,
+        citation: Citation,
+        files: dict[str, bytes] | None = None,
+        version_label: Optional[str] = None,
+        created_at: Optional[datetime] = None,
+    ) -> Deposit:
+        """Create an unpublished deposit for a release described by ``citation``.
+
+        Deposits of the same software (same owner/repository) share a concept
+        id, so publishing successive releases produces version DOIs under one
+        concept DOI — Zenodo's versioning model.
+        """
+        concept_key = f"{citation.owner}/{citation.repo_name}"
+        concept_id = self._concepts.get(concept_key)
+        if concept_id is None:
+            concept_id = self._allocate_id()
+            self._concepts[concept_key] = concept_id
+        deposit = Deposit(
+            deposit_id=self._allocate_id(),
+            concept_id=concept_id,
+            title=citation.title or citation.repo_name,
+            version_label=version_label or citation.version or citation.commit_id,
+            metadata=datacite_payload(citation),
+            files=dict(files or {}),
+            created_at=created_at or now_utc(),
+        )
+        self._deposits[deposit.deposit_id] = deposit
+        return deposit
+
+    def upload_file(self, deposit_id: int, name: str, data: bytes) -> None:
+        """Attach a file to an unpublished deposit."""
+        deposit = self.get_deposit(deposit_id)
+        if deposit.published:
+            raise DepositError("cannot add files to a published deposit")
+        deposit.files[name] = data
+
+    def publish(self, deposit_id: int, published_at: Optional[datetime] = None) -> Deposit:
+        """Publish a deposit, minting its version DOI and concept DOI."""
+        deposit = self.get_deposit(deposit_id)
+        if deposit.published:
+            raise DepositError(f"deposit {deposit_id} is already published")
+        if not deposit.files:
+            raise DepositError("a deposit must contain at least one file before publishing")
+        deposit.published = True
+        deposit.published_at = published_at or now_utc()
+        deposit.doi = f"{self.doi_prefix}/zenodo.{deposit.deposit_id}"
+        deposit.concept_doi = f"{self.doi_prefix}/zenodo.{deposit.concept_id}"
+        return deposit
+
+    # ------------------------------------------------------------------
+
+    def get_deposit(self, deposit_id: int) -> Deposit:
+        try:
+            return self._deposits[deposit_id]
+        except KeyError:
+            raise DepositError(f"no such deposit: {deposit_id}") from None
+
+    def resolve_doi(self, doi: str) -> Deposit:
+        """Look up a published deposit by its DOI."""
+        for deposit in self._deposits.values():
+            if deposit.published and deposit.doi == doi:
+                return deposit
+        raise DepositError(f"DOI does not resolve: {doi!r}")
+
+    def versions_of(self, concept_doi: str) -> list[Deposit]:
+        """All published versions under a concept DOI, oldest first."""
+        versions = [
+            deposit
+            for deposit in self._deposits.values()
+            if deposit.published and deposit.concept_doi == concept_doi
+        ]
+        return sorted(versions, key=lambda deposit: deposit.deposit_id)
+
+    # ------------------------------------------------------------------
+    # End-to-end helper used by examples and benches
+    # ------------------------------------------------------------------
+
+    def publish_release(
+        self,
+        manager,
+        version_label: str,
+        ref: str = "HEAD",
+        published_at: Optional[datetime] = None,
+    ) -> tuple[Deposit, Citation]:
+        """Deposit a repository version and write its DOI into the root citation.
+
+        ``manager`` is a :class:`~repro.citation.manager.CitationManager`.
+        Returns the published deposit and the updated root citation (the DOI
+        is stored in the working tree's ``citation.cite``; committing it is
+        left to the caller).
+        """
+        root = manager.citation_function_at(ref).root_citation()
+        archive_files = {
+            f"{manager.repo.name}-{version_label}{path}": data
+            for path, data in manager.repo.snapshot(ref).items()
+        }
+        deposit = self.create_deposit(
+            root.with_changes(version=version_label), files=archive_files
+        )
+        published = self.publish(deposit.deposit_id, published_at=published_at)
+        function = manager.citation_function()
+        updated_root = function.root_citation().with_changes(
+            doi=published.doi, version=version_label
+        )
+        function.put("/", updated_root, is_directory=True)
+        manager._save()
+        return published, updated_root

@@ -1,0 +1,115 @@
+"""The GitCite citation model: the paper's primary contribution.
+
+This package implements Section 2 (the citation model) and the citation half
+of Section 3 (how the model is maintained through Git operations):
+
+* :mod:`record` — the :class:`~repro.citation.record.Citation` value object;
+* :mod:`function` — citation functions with closest-ancestor resolution
+  (``Cite(V,P)(n)``);
+* :mod:`citefile` — the ``citation.cite`` on-disk format;
+* :mod:`operators` — AddCite / DelCite / ModifyCite / GenCite;
+* :mod:`rename` — propagating file and directory renames;
+* :mod:`copy`, :mod:`merge`, :mod:`fork` — CopyCite, MergeCite, ForkCite;
+* :mod:`conflict` — conflict-resolution strategies (union-and-ask plus the
+  richer strategies the paper leaves as future work);
+* :mod:`consistency` — invariants between a tree and its citation function;
+* :mod:`retro` — retroactive citation of existing repositories (future work);
+* :mod:`manager` — :class:`~repro.citation.manager.CitationManager`, the
+  high-level API binding everything to a repository.
+"""
+
+from repro.citation.citefile import (
+    CITATION_FILE_NAME,
+    CITATION_FILE_PATH,
+    dump_citation_bytes,
+    dumps_citation_file,
+    load_citation_bytes,
+    loads_citation_file,
+)
+from repro.citation.conflict import (
+    AskUserStrategy,
+    CitationConflict,
+    ConflictResolution,
+    FieldMergeStrategy,
+    NewestStrategy,
+    OursStrategy,
+    TheirsStrategy,
+    ThreeWayStrategy,
+    available_strategies,
+    strategy_by_name,
+)
+from repro.citation.consistency import ConsistencyReport, check_consistency, repair
+from repro.citation.copy import CopyCiteResult, copy_citations
+from repro.citation.extract import (
+    ExtractionCitation,
+    ExtractionEntry,
+    cite_extraction,
+    render_bibliography,
+)
+from repro.citation.fork import fork_citation, rewrite_fork_root
+from repro.citation.function import CitationEntry, CitationFunction, ResolvedCitation
+from repro.citation.manager import CitationManager, CopyCiteOutcome, MergeCiteOutcome
+from repro.citation.merge import MergeCiteResult, merge_citation_functions
+from repro.citation.operators import (
+    AddCite,
+    DelCite,
+    GenCite,
+    ModifyCite,
+    OperationLog,
+    apply_operation,
+    apply_operations,
+)
+from repro.citation.record import Citation
+from repro.citation.rename import propagate_diff, propagate_renames
+from repro.citation.retro import attribute_history, build_retroactive_function, retrofit
+
+__all__ = [
+    "CITATION_FILE_NAME",
+    "CITATION_FILE_PATH",
+    "dump_citation_bytes",
+    "dumps_citation_file",
+    "load_citation_bytes",
+    "loads_citation_file",
+    "AskUserStrategy",
+    "CitationConflict",
+    "ConflictResolution",
+    "FieldMergeStrategy",
+    "NewestStrategy",
+    "OursStrategy",
+    "TheirsStrategy",
+    "ThreeWayStrategy",
+    "available_strategies",
+    "strategy_by_name",
+    "ConsistencyReport",
+    "check_consistency",
+    "repair",
+    "CopyCiteResult",
+    "copy_citations",
+    "ExtractionCitation",
+    "ExtractionEntry",
+    "cite_extraction",
+    "render_bibliography",
+    "fork_citation",
+    "rewrite_fork_root",
+    "CitationEntry",
+    "CitationFunction",
+    "ResolvedCitation",
+    "CitationManager",
+    "CopyCiteOutcome",
+    "MergeCiteOutcome",
+    "MergeCiteResult",
+    "merge_citation_functions",
+    "AddCite",
+    "DelCite",
+    "GenCite",
+    "ModifyCite",
+    "OperationLog",
+    "apply_operation",
+    "apply_operations",
+    "Citation",
+    "propagate_diff",
+    "propagate_renames",
+    "attribute_history",
+    "build_retroactive_function",
+    "retrofit",
+]

@@ -1,0 +1,256 @@
+"""Citation conflict representation and resolution strategies.
+
+When MergeCite unions two citation files, "conflicts over the values
+associated with the same key in the new 'citation.cite' file are then
+resolved by showing them to the user and asking the user to resolve the
+conflict.  More complex conflict resolution strategies could also be used."
+(Section 3.)  Section 5 lists richer strategies — in particular ones
+mirroring Git's three-way merge — as future work.
+
+This module implements the conflict value object and a family of pluggable
+strategies:
+
+* :class:`AskUserStrategy` — the paper's behaviour: every conflict is shown
+  to a callback (the "user"); with no callback the conflict stays
+  unresolved and MergeCite reports it.
+* :class:`OursStrategy`, :class:`TheirsStrategy` — always keep one side.
+* :class:`NewestStrategy` — keep the citation with the most recent
+  committed date (ties keep ours).
+* :class:`ThreeWayStrategy` — the future-work strategy: consult the merge
+  base; if only one side changed the citation relative to the base, keep
+  that side automatically, otherwise fall back to a secondary strategy.
+* :class:`FieldMergeStrategy` — a finer-grained automatic merge that keeps
+  common fields and unions the author lists, used in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.errors import CitationError
+from repro.citation.record import Citation
+
+__all__ = [
+    "CitationConflict",
+    "ConflictResolution",
+    "ConflictStrategy",
+    "AskUserStrategy",
+    "OursStrategy",
+    "TheirsStrategy",
+    "NewestStrategy",
+    "ThreeWayStrategy",
+    "FieldMergeStrategy",
+    "strategy_by_name",
+    "available_strategies",
+]
+
+
+@dataclass(frozen=True)
+class CitationConflict:
+    """Two different citations attached to the same path by the two branches."""
+
+    path: str
+    ours: Citation
+    theirs: Citation
+    base: Optional[Citation] = None
+    is_directory: bool = False
+
+    @property
+    def both_changed(self) -> bool:
+        """Whether both sides differ from the base (a "real" conflict)."""
+        if self.base is None:
+            return True
+        return self.ours != self.base and self.theirs != self.base
+
+
+@dataclass(frozen=True)
+class ConflictResolution:
+    """The outcome of resolving one conflict."""
+
+    conflict: CitationConflict
+    citation: Optional[Citation]
+    resolved: bool
+    strategy_name: str
+
+    @property
+    def path(self) -> str:
+        return self.conflict.path
+
+
+class ConflictStrategy(Protocol):
+    """The strategy interface used by MergeCite."""
+
+    name: str
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:  # pragma: no cover
+        ...
+
+
+class OursStrategy:
+    """Always keep the current branch's citation."""
+
+    name = "ours"
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        return ConflictResolution(
+            conflict=conflict, citation=conflict.ours, resolved=True, strategy_name=self.name
+        )
+
+
+class TheirsStrategy:
+    """Always keep the merged-in branch's citation."""
+
+    name = "theirs"
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        return ConflictResolution(
+            conflict=conflict, citation=conflict.theirs, resolved=True, strategy_name=self.name
+        )
+
+
+class NewestStrategy:
+    """Keep the citation whose committed date is most recent (ties keep ours)."""
+
+    name = "newest"
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        chosen = (
+            conflict.theirs
+            if conflict.theirs.committed_date > conflict.ours.committed_date
+            else conflict.ours
+        )
+        return ConflictResolution(
+            conflict=conflict, citation=chosen, resolved=True, strategy_name=self.name
+        )
+
+
+class AskUserStrategy:
+    """Show the conflict to the user and let them pick or supply a citation.
+
+    ``chooser`` receives the conflict and returns the chosen
+    :class:`Citation` (it may construct a new one), or ``None`` to leave the
+    conflict unresolved.  Without a chooser every conflict stays unresolved,
+    which makes MergeCite surface them to the caller — the non-interactive
+    analogue of the paper's pop-up.
+    """
+
+    name = "ask"
+
+    def __init__(self, chooser: Callable[[CitationConflict], Optional[Citation]] | None = None) -> None:
+        self._chooser = chooser
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        if self._chooser is None:
+            return ConflictResolution(
+                conflict=conflict, citation=None, resolved=False, strategy_name=self.name
+            )
+        choice = self._chooser(conflict)
+        return ConflictResolution(
+            conflict=conflict,
+            citation=choice,
+            resolved=choice is not None,
+            strategy_name=self.name,
+        )
+
+
+class ThreeWayStrategy:
+    """Use the merge base to auto-resolve one-sided changes (future work, §5).
+
+    If only one branch changed the citation relative to the base version's
+    citation function, that branch's citation wins automatically; when both
+    changed (or there is no base entry) the ``fallback`` strategy decides.
+    """
+
+    name = "three-way"
+
+    def __init__(self, fallback: ConflictStrategy | None = None) -> None:
+        self._fallback = fallback or AskUserStrategy()
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        base = conflict.base
+        if base is not None:
+            if conflict.ours == base and conflict.theirs != base:
+                return ConflictResolution(
+                    conflict=conflict, citation=conflict.theirs, resolved=True, strategy_name=self.name
+                )
+            if conflict.theirs == base and conflict.ours != base:
+                return ConflictResolution(
+                    conflict=conflict, citation=conflict.ours, resolved=True, strategy_name=self.name
+                )
+            if conflict.ours == conflict.theirs:
+                return ConflictResolution(
+                    conflict=conflict, citation=conflict.ours, resolved=True, strategy_name=self.name
+                )
+        fallback_result = self._fallback.resolve(conflict)
+        return ConflictResolution(
+            conflict=conflict,
+            citation=fallback_result.citation,
+            resolved=fallback_result.resolved,
+            strategy_name=f"{self.name}+{fallback_result.strategy_name}",
+        )
+
+
+class FieldMergeStrategy:
+    """Merge citations field-by-field when they describe the same version.
+
+    If both citations point at the same repository/commit the author lists
+    are united and optional fields filled from either side; otherwise the
+    newest citation wins.  This models an automatic strategy richer than the
+    paper's union-and-ask and is compared against it in the ablation bench.
+    """
+
+    name = "field-merge"
+
+    def resolve(self, conflict: CitationConflict) -> ConflictResolution:
+        ours, theirs = conflict.ours, conflict.theirs
+        if ours.identity() == theirs.identity():
+            merged_authors = list(ours.authors)
+            for author in theirs.authors:
+                if author not in merged_authors:
+                    merged_authors.append(author)
+            merged = ours.with_changes(
+                authors=tuple(merged_authors),
+                doi=ours.doi or theirs.doi,
+                version=ours.version or theirs.version,
+                license=ours.license or theirs.license,
+                title=ours.title or theirs.title,
+                description=ours.description or theirs.description,
+                swhid=ours.swhid or theirs.swhid,
+            )
+            return ConflictResolution(
+                conflict=conflict, citation=merged, resolved=True, strategy_name=self.name
+            )
+        fallback = NewestStrategy().resolve(conflict)
+        return ConflictResolution(
+            conflict=conflict,
+            citation=fallback.citation,
+            resolved=True,
+            strategy_name=f"{self.name}+{fallback.strategy_name}",
+        )
+
+
+_STRATEGIES: dict[str, Callable[[], ConflictStrategy]] = {
+    "ask": AskUserStrategy,
+    "ours": OursStrategy,
+    "theirs": TheirsStrategy,
+    "newest": NewestStrategy,
+    "three-way": ThreeWayStrategy,
+    "field-merge": FieldMergeStrategy,
+}
+
+
+def available_strategies() -> list[str]:
+    """The names accepted by :func:`strategy_by_name` (and the CLI's ``--strategy``)."""
+    return sorted(_STRATEGIES)
+
+
+def strategy_by_name(name: str, **kwargs) -> ConflictStrategy:
+    """Instantiate a strategy by its registry name."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise CitationError(
+            f"unknown conflict-resolution strategy {name!r}; choose from {available_strategies()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,148 @@
+"""Consistency checking between a citation function and a project version.
+
+The model of Section 2 imposes structural invariants on the pair (tree,
+citation function):
+
+* the root must be in the active domain (otherwise ``Cite`` is partial);
+* every cited path must exist in the version's tree — after deletes, merges
+  and copies the citation file must not refer to vanished files ("the
+  citation function associated with the new version must be made consistent
+  with the new directory structure and the files retained in the new
+  version");
+* an entry flagged as a directory must actually be a directory in the tree,
+  and vice versa;
+* citation records themselves must be well-formed (this is enforced at
+  construction time by :class:`~repro.citation.record.Citation`, so checking
+  is only needed when reading foreign files).
+
+:func:`check_consistency` reports violations; :func:`repair` applies the
+obvious fixes (drop orphans, fix directory flags, install a root citation if
+one is supplied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.citation.function import CitationFunction
+from repro.citation.record import Citation
+from repro.utils.paths import ROOT
+
+__all__ = ["Violation", "ConsistencyReport", "check_consistency", "repair"]
+
+MISSING_ROOT = "missing-root"
+ORPHAN_PATH = "orphan-path"
+WRONG_KIND = "wrong-kind"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected inconsistency."""
+
+    kind: str
+    path: str
+    detail: str
+
+
+@dataclass
+class ConsistencyReport:
+    """All violations found in one check."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[Violation]:
+        return [violation for violation in self.violations if violation.kind == kind]
+
+    def paths(self) -> list[str]:
+        return sorted({violation.path for violation in self.violations})
+
+
+def check_consistency(
+    function: CitationFunction,
+    file_paths: set[str],
+    directory_paths: set[str],
+) -> ConsistencyReport:
+    """Check a citation function against the version's files and directories.
+
+    ``file_paths`` and ``directory_paths`` are canonical paths of the files
+    and directories present in the version (the root is always treated as
+    present).
+    """
+    report = ConsistencyReport()
+    directories = set(directory_paths) | {ROOT}
+    files = set(file_paths)
+
+    if not function.has_root:
+        report.violations.append(
+            Violation(kind=MISSING_ROOT, path=ROOT, detail="the root has no citation entry")
+        )
+
+    for entry in function:
+        if entry.path == ROOT:
+            continue
+        in_files = entry.path in files
+        in_dirs = entry.path in directories
+        if not in_files and not in_dirs:
+            report.violations.append(
+                Violation(
+                    kind=ORPHAN_PATH,
+                    path=entry.path,
+                    detail="cited path does not exist in this version",
+                )
+            )
+        elif entry.is_directory and not in_dirs:
+            report.violations.append(
+                Violation(
+                    kind=WRONG_KIND,
+                    path=entry.path,
+                    detail="entry is marked as a directory but the path is a file",
+                )
+            )
+        elif not entry.is_directory and not in_files:
+            report.violations.append(
+                Violation(
+                    kind=WRONG_KIND,
+                    path=entry.path,
+                    detail="entry is marked as a file but the path is a directory",
+                )
+            )
+    report.violations.sort(key=lambda violation: (violation.path, violation.kind))
+    return report
+
+
+def repair(
+    function: CitationFunction,
+    file_paths: set[str],
+    directory_paths: set[str],
+    root_citation: Optional[Citation] = None,
+) -> ConsistencyReport:
+    """Fix the violations that have an unambiguous repair, in place.
+
+    * orphan entries are dropped;
+    * wrong-kind entries have their directory flag corrected;
+    * a missing root citation is installed from ``root_citation`` when given.
+
+    Returns the report of violations that were found *before* repair, so the
+    caller can log what changed; re-running :func:`check_consistency`
+    afterwards shows what (if anything) remains.
+    """
+    report = check_consistency(function, file_paths, directory_paths)
+    directories = set(directory_paths) | {ROOT}
+    for violation in report.violations:
+        if violation.kind == ORPHAN_PATH:
+            function.discard(violation.path)
+        elif violation.kind == WRONG_KIND:
+            entry = function.entry(violation.path)
+            if entry is not None:
+                function.discard(violation.path)
+                function.put(
+                    violation.path, entry.citation, is_directory=violation.path in directories
+                )
+        elif violation.kind == MISSING_ROOT and root_citation is not None:
+            function.put(ROOT, root_citation, is_directory=True)
+    return report

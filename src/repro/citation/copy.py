@@ -1,0 +1,102 @@
+"""CopyCite: migrating citations when a subtree is copied between repositories.
+
+Section 3 of the paper: *"CopyCite copies a directory from a remote
+repository version to the local repository version, and migrates their
+associated citations.  That is, the citations for the directory and its
+subtree in the remote 'citation.cite' file are added to the local
+'citation.cite' file, with the key paths modified to reflect the new location
+to ensure correctness of the citation function."*
+
+The running example (Figure 1, right) pins down an important detail: after
+copying the green subtree of ``V3`` into ``P1``, the file ``f2`` — which had
+no explicit citation in the source — still resolves to ``C4``, because *the
+citation of the copied subtree's root* was added to the destination citation
+file.  In other words CopyCite must preserve the resolved citation of every
+copied node, which requires attaching the source subtree root's *resolved*
+citation at the destination root of the copy whenever the source root had no
+explicit entry of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.citation.function import CitationFunction
+from repro.utils.paths import normalize_path, rewrite_prefix
+
+__all__ = ["CopyCiteResult", "copy_citations"]
+
+
+@dataclass
+class CopyCiteResult:
+    """What a CopyCite citation migration did."""
+
+    migrated: dict[str, str] = field(default_factory=dict)
+    """Source path → destination path for every migrated explicit entry."""
+
+    root_citation_added: bool = False
+    """Whether the destination subtree root received the source's resolved
+    citation because the source root had no explicit entry."""
+
+    overwritten: list[str] = field(default_factory=list)
+    """Destination paths whose previous explicit citation was replaced."""
+
+    @property
+    def migrated_count(self) -> int:
+        return len(self.migrated)
+
+
+def copy_citations(
+    source: CitationFunction,
+    source_root: str,
+    destination: CitationFunction,
+    destination_root: str,
+) -> CopyCiteResult:
+    """Migrate the citations of a copied subtree into the destination function.
+
+    Parameters
+    ----------
+    source:
+        The citation function of the source version (remote repository).
+    source_root:
+        The canonical path of the copied directory in the source version.
+    destination:
+        The citation function of the local version; mutated in place.
+    destination_root:
+        The canonical path where the subtree now lives in the local version.
+
+    Returns
+    -------
+    CopyCiteResult
+        The key rewrites performed, whether a root citation had to be
+        synthesised from the source root's resolution, and which destination
+        entries were overwritten.
+    """
+    source_root = normalize_path(source_root)
+    destination_root = normalize_path(destination_root)
+    result = CopyCiteResult()
+
+    entries = source.entries_under(source_root, include_prefix=True)
+    covered_root = False
+    for entry in entries:
+        new_path = rewrite_prefix(entry.path, source_root, destination_root)
+        if destination.entry(new_path) is not None:
+            result.overwritten.append(new_path)
+        destination.put(new_path, entry.citation, entry.is_directory)
+        result.migrated[entry.path] = new_path
+        if entry.path == source_root:
+            covered_root = True
+
+    if not covered_root:
+        # The copied subtree's root inherited its citation in the source; pin
+        # that resolved citation at the destination root so every copied node
+        # keeps resolving to the same citation (Figure 1: Cite(V4,P1)(f2)=C4).
+        resolved = source.resolve(source_root)
+        if destination.entry(destination_root) is not None:
+            result.overwritten.append(destination_root)
+        destination.put(destination_root, resolved.citation, is_directory=True)
+        result.migrated[resolved.source_path] = destination_root
+        result.root_citation_added = True
+
+    result.overwritten.sort()
+    return result

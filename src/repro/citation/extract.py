@@ -1,0 +1,136 @@
+"""Citing an extracted code base.
+
+The paper's introduction raises the question GitCite exists to answer: *"There
+is also a question of how to construct the citation for the extracted code
+base, given the granularity at which citations appear."*  When a user takes a
+subset of a project's files (a vendored directory, a handful of modules, a
+whole release), the citation of that extraction is not a single ``Cite`` call
+— different files may resolve to different citations, and the same citation
+may cover many files.
+
+:func:`cite_extraction` evaluates ``Cite(V,P)(n)`` for every extracted path,
+groups the paths by the citation that covers them, and returns an
+:class:`ExtractionCitation` — effectively the bibliography of the extraction —
+which can be rendered as text, BibTeX or any other registered format through
+:func:`render_bibliography`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.citation.function import CitationFunction, ResolvedCitation
+from repro.citation.record import Citation
+from repro.formats import render
+from repro.utils.paths import normalize_path
+
+__all__ = ["ExtractionEntry", "ExtractionCitation", "cite_extraction", "render_bibliography"]
+
+
+@dataclass(frozen=True)
+class ExtractionEntry:
+    """One distinct citation and the extracted paths it covers."""
+
+    citation: Citation
+    source_path: str
+    covered_paths: tuple[str, ...]
+
+    @property
+    def coverage(self) -> int:
+        return len(self.covered_paths)
+
+
+@dataclass
+class ExtractionCitation:
+    """The citation set for an extracted subset of a project version."""
+
+    entries: list[ExtractionEntry] = field(default_factory=list)
+    resolutions: dict[str, ResolvedCitation] = field(default_factory=dict)
+
+    @property
+    def citations(self) -> list[Citation]:
+        """The distinct citations, most-covering first."""
+        return [entry.citation for entry in self.entries]
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self.entries)
+
+    def citation_for(self, path: str) -> Citation:
+        """The citation covering one extracted path."""
+        return self.resolutions[normalize_path(path)].citation
+
+    def authors(self) -> list[str]:
+        """Every credited author across the extraction, in coverage order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            for author in entry.citation.authors or (entry.citation.owner,):
+                if author not in seen:
+                    seen.append(author)
+        return seen
+
+
+def cite_extraction(
+    function: CitationFunction, paths: Iterable[str]
+) -> ExtractionCitation:
+    """Build the citation set for the extracted ``paths`` of one version.
+
+    Every path is resolved with the closest-ancestor rule; paths whose
+    resolutions share the same citation *value* are grouped into one
+    :class:`ExtractionEntry`.  Entries are ordered by how many extracted paths
+    they cover (descending), then by source path, so the "main" citation of
+    the extraction comes first.
+    """
+    resolutions: dict[str, ResolvedCitation] = {}
+    for raw_path in paths:
+        canonical = normalize_path(raw_path)
+        resolutions[canonical] = function.resolve(canonical)
+
+    groups: dict[tuple, list[str]] = {}
+    representatives: dict[tuple, ResolvedCitation] = {}
+    for path, resolved in resolutions.items():
+        key = _citation_key(resolved.citation)
+        groups.setdefault(key, []).append(path)
+        representatives.setdefault(key, resolved)
+
+    entries = [
+        ExtractionEntry(
+            citation=representatives[key].citation,
+            source_path=representatives[key].source_path,
+            covered_paths=tuple(sorted(paths_for_key)),
+        )
+        for key, paths_for_key in groups.items()
+    ]
+    entries.sort(key=lambda entry: (-entry.coverage, entry.source_path))
+    return ExtractionCitation(entries=entries, resolutions=resolutions)
+
+
+def _citation_key(citation: Citation) -> tuple:
+    """A hashable identity for grouping equal citation values."""
+    return tuple(
+        (key, tuple(value) if isinstance(value, list) else value)
+        for key, value in sorted(citation.to_dict().items())
+    )
+
+
+def render_bibliography(
+    extraction: ExtractionCitation,
+    format_name: str = "text",
+    include_coverage: bool = True,
+) -> str:
+    """Render the extraction's citations as a bibliography.
+
+    Each distinct citation is rendered once in the requested format; with
+    ``include_coverage`` a comment line lists which extracted paths that
+    citation covers (so readers can tell which import credits which source).
+    """
+    sections: list[str] = []
+    for entry in extraction.entries:
+        rendered = render(entry.citation, format_name, cited_path=entry.source_path).rstrip("\n")
+        if include_coverage:
+            covered = ", ".join(entry.covered_paths)
+            prefix = "%" if format_name == "bibtex" else "#"
+            rendered = f"{prefix} covers: {covered}\n{rendered}"
+        sections.append(rendered)
+    return "\n\n".join(sections) + ("\n" if sections else "")

@@ -1,0 +1,87 @@
+"""ForkCite: forking a repository while carrying its citations.
+
+Section 3 of the paper: *"ForkCite copies a version of a repository, along
+with its history, and creates a new repository.  The citations in
+'citation.cite' are also copied.  Our way of storing citations will naturally
+enable ForkCite through GitHub's Fork."*
+
+Because ``citation.cite`` lives inside the tree of every version, forking the
+repository (copying its objects and references) automatically carries every
+citation function of every version — nothing needs to be rewritten.  What a
+fork *adds* is provenance: the new repository has a new owner and URL, so the
+fork's subsequent root citations should describe the fork while the citation
+of imported content keeps crediting the original authors.  ``fork_citation``
+builds that new root citation from the original one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from repro.citation.function import CitationFunction
+from repro.citation.record import Citation
+from repro.utils.paths import ROOT
+
+__all__ = ["ForkCiteMetadata", "fork_citation"]
+
+
+@dataclass(frozen=True)
+class ForkCiteMetadata:
+    """Descriptive metadata of a fork operation."""
+
+    source_owner: str
+    source_repo: str
+    source_commit: str
+    new_owner: str
+    new_repo: str
+    forked_at: datetime
+
+
+def fork_citation(
+    original_root: Citation,
+    new_owner: str,
+    new_repo_name: str,
+    new_url: str,
+    forked_at: datetime,
+    fork_commit_id: Optional[str] = None,
+) -> Citation:
+    """Build the root citation of a fork from the original root citation.
+
+    The fork's root citation points at the new owner/repository/URL but keeps
+    the original author list (credit is preserved), and records the fork's
+    origin in the ``forkedFrom`` extra field so downstream citations can
+    trace provenance.
+    """
+    origin = f"{original_root.owner}/{original_root.repo_name}@{original_root.commit_id}"
+    return Citation(
+        repo_name=new_repo_name,
+        owner=new_owner,
+        committed_date=forked_at,
+        commit_id=fork_commit_id or original_root.commit_id,
+        url=new_url,
+        authors=original_root.authors or (original_root.owner,),
+        doi=original_root.doi,
+        version=original_root.version,
+        license=original_root.license,
+        title=original_root.title,
+        description=original_root.description,
+        swhid=original_root.swhid,
+        extra=(("forkedFrom", origin),),
+    )
+
+
+def rewrite_fork_root(
+    function: CitationFunction,
+    new_root: Citation,
+) -> CitationFunction:
+    """Return a copy of ``function`` whose root citation is ``new_root``.
+
+    All non-root entries (including ones imported earlier by CopyCite) are
+    preserved unchanged, so imported code keeps crediting its original
+    authors after the fork.
+    """
+    updated = function.copy()
+    updated.put(ROOT, new_root, is_directory=True)
+    return updated

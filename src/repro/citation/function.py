@@ -1,0 +1,326 @@
+"""The citation function of a project version.
+
+Section 2 of the paper defines, for every version ``V`` of a project ``P``,
+a *citation function* ``C(V,P)``: a partial map from paths in the version's
+tree to citations.  The root of the version must be in the active domain, so
+the derived total function
+
+    ``Cite(V,P)(n) = C(V,P)(n)`` if ``n`` is in the active domain, else
+    ``C(V,P)(a)`` where ``a`` is the closest ancestor of ``n`` with a citation
+
+is defined for every node.  The paper also notes an alternative
+interpretation that returns *every* citation on the path from ``n`` to the
+root; :meth:`CitationFunction.resolve_chain` implements it.
+
+A :class:`CitationFunction` is the in-memory representation of one
+``citation.cite`` file.  It is deliberately independent of the VCS: operators
+(:mod:`repro.citation.operators`), merging (:mod:`repro.citation.merge`) and
+copying (:mod:`repro.citation.copy`) are pure functions over this structure,
+and :mod:`repro.citation.manager` binds them to repository versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from repro.errors import CitationExistsError, CitationNotFoundError, ConsistencyError
+from repro.citation.record import Citation
+from repro.utils.paths import (
+    ROOT,
+    ancestors,
+    is_ancestor,
+    normalize_path,
+    rewrite_prefix,
+)
+
+__all__ = ["CitationEntry", "ResolvedCitation", "CitationFunction"]
+
+
+@dataclass(frozen=True)
+class CitationEntry:
+    """One explicit attachment: a citation bound to a path."""
+
+    path: str
+    citation: Citation
+    is_directory: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path", normalize_path(self.path))
+        if self.path == ROOT and not self.is_directory:
+            raise ConsistencyError("the root entry must be a directory entry")
+
+
+@dataclass(frozen=True)
+class ResolvedCitation:
+    """The result of evaluating ``Cite(V,P)(n)`` for one node.
+
+    ``source_path`` is the path whose explicit citation supplied the value;
+    ``is_explicit`` tells whether that path is the queried node itself.
+    """
+
+    path: str
+    citation: Citation
+    source_path: str
+    is_explicit: bool
+
+    @property
+    def inherited(self) -> bool:
+        return not self.is_explicit
+
+
+class CitationFunction:
+    """A partial map from repository paths to :class:`Citation` values."""
+
+    def __init__(self, entries: Mapping[str, CitationEntry] | None = None) -> None:
+        self._entries: dict[str, CitationEntry] = {}
+        if entries:
+            for entry in entries.values():
+                self._entries[entry.path] = entry
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_root(cls, root_citation: Citation) -> "CitationFunction":
+        """Create a function whose active domain is just the root."""
+        function = cls()
+        function.attach(ROOT, root_citation, is_directory=True)
+        return function
+
+    def copy(self) -> "CitationFunction":
+        """Return an independent copy (entries are immutable and shared)."""
+        duplicate = CitationFunction()
+        duplicate._entries = dict(self._entries)
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Active domain
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CitationEntry]:
+        for path in sorted(self._entries):
+            yield self._entries[path]
+
+    def __contains__(self, path: str) -> bool:
+        return normalize_path(path) in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CitationFunction):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def active_domain(self) -> list[str]:
+        """The paths that carry an explicit citation (sorted)."""
+        return sorted(self._entries)
+
+    @property
+    def has_root(self) -> bool:
+        return ROOT in self._entries
+
+    def entry(self, path: str) -> Optional[CitationEntry]:
+        """The explicit entry at ``path``, or ``None``."""
+        return self._entries.get(normalize_path(path))
+
+    def get_explicit(self, path: str) -> Optional[Citation]:
+        """The explicit citation at ``path``, or ``None`` when inherited."""
+        entry = self.entry(path)
+        return entry.citation if entry else None
+
+    def entries_under(self, prefix: str, include_prefix: bool = True) -> list[CitationEntry]:
+        """Every explicit entry at or below ``prefix`` (sorted by path)."""
+        prefix = normalize_path(prefix)
+        selected = []
+        for path in sorted(self._entries):
+            if (include_prefix and path == prefix) or is_ancestor(prefix, path):
+                selected.append(self._entries[path])
+        return selected
+
+    # ------------------------------------------------------------------
+    # Mutation (used by the operators module)
+    # ------------------------------------------------------------------
+
+    def attach(self, path: str, citation: Citation, is_directory: bool) -> CitationEntry:
+        """Attach a citation to a path that has none (AddCite semantics)."""
+        canonical = normalize_path(path)
+        if canonical in self._entries:
+            raise CitationExistsError(canonical)
+        entry = CitationEntry(path=canonical, citation=citation, is_directory=is_directory)
+        self._entries[canonical] = entry
+        return entry
+
+    def replace(self, path: str, citation: Citation) -> CitationEntry:
+        """Replace the citation at a path that already has one (ModifyCite)."""
+        canonical = normalize_path(path)
+        existing = self._entries.get(canonical)
+        if existing is None:
+            raise CitationNotFoundError(canonical)
+        entry = CitationEntry(
+            path=canonical, citation=citation, is_directory=existing.is_directory
+        )
+        self._entries[canonical] = entry
+        return entry
+
+    def put(self, path: str, citation: Citation, is_directory: bool) -> CitationEntry:
+        """Attach-or-replace (used by merge/copy, which are not user operators)."""
+        canonical = normalize_path(path)
+        existing = self._entries.get(canonical)
+        entry = CitationEntry(
+            path=canonical,
+            citation=citation,
+            is_directory=existing.is_directory if existing else is_directory,
+        )
+        self._entries[canonical] = entry
+        return entry
+
+    def detach(self, path: str) -> CitationEntry:
+        """Remove the explicit citation at ``path`` (DelCite semantics).
+
+        The root citation cannot be removed: the paper requires the root to
+        stay in the active domain so ``Cite`` remains total.
+        """
+        canonical = normalize_path(path)
+        if canonical == ROOT:
+            raise ConsistencyError("the root citation cannot be deleted (it must always exist)")
+        try:
+            return self._entries.pop(canonical)
+        except KeyError:
+            raise CitationNotFoundError(canonical) from None
+
+    def discard(self, path: str) -> Optional[CitationEntry]:
+        """Remove an entry if present, returning it (``None`` when absent)."""
+        return self._entries.pop(normalize_path(path), None)
+
+    # ------------------------------------------------------------------
+    # Resolution — the Cite(V,P)(n) of Section 2
+    # ------------------------------------------------------------------
+
+    def resolve(self, path: str) -> ResolvedCitation:
+        """Evaluate ``Cite(V,P)(path)`` by closest-ancestor lookup.
+
+        Raises
+        ------
+        ConsistencyError
+            If the function has no root citation (the paper's invariant is
+            violated and the function is not total).
+        """
+        canonical = normalize_path(path)
+        for candidate in ancestors(canonical, include_self=True):
+            entry = self._entries.get(candidate)
+            if entry is not None:
+                return ResolvedCitation(
+                    path=canonical,
+                    citation=entry.citation,
+                    source_path=candidate,
+                    is_explicit=candidate == canonical,
+                )
+        raise ConsistencyError(
+            f"citation function has no root citation; Cite({canonical!r}) is undefined"
+        )
+
+    def resolve_chain(self, path: str) -> list[ResolvedCitation]:
+        """Return every citation on the path from ``path`` up to the root.
+
+        This is the alternative interpretation mentioned at the end of
+        Section 2 ("ones that include every citation on the path from n to
+        r"); the first element equals :meth:`resolve`'s result.
+        """
+        canonical = normalize_path(path)
+        chain: list[ResolvedCitation] = []
+        for candidate in ancestors(canonical, include_self=True):
+            entry = self._entries.get(candidate)
+            if entry is not None:
+                chain.append(
+                    ResolvedCitation(
+                        path=canonical,
+                        citation=entry.citation,
+                        source_path=candidate,
+                        is_explicit=candidate == canonical,
+                    )
+                )
+        if not chain:
+            raise ConsistencyError(
+                f"citation function has no root citation; Cite({canonical!r}) is undefined"
+            )
+        return chain
+
+    def root_citation(self) -> Citation:
+        """The citation of the project root (always defined for valid functions)."""
+        return self.resolve(ROOT).citation
+
+    # ------------------------------------------------------------------
+    # Structural updates driven by tree changes
+    # ------------------------------------------------------------------
+
+    def rename(self, old_path: str, new_path: str) -> bool:
+        """Move one explicit entry from ``old_path`` to ``new_path``.
+
+        Returns whether an entry was moved.  Required by Section 2: when a
+        cited file or directory is moved or renamed, the citation function
+        must be updated to use its new path.
+        """
+        old_canonical = normalize_path(old_path)
+        entry = self._entries.pop(old_canonical, None)
+        if entry is None:
+            return False
+        moved = CitationEntry(
+            path=normalize_path(new_path),
+            citation=entry.citation,
+            is_directory=entry.is_directory,
+        )
+        self._entries[moved.path] = moved
+        return True
+
+    def rename_prefix(self, old_prefix: str, new_prefix: str) -> dict[str, str]:
+        """Re-root every entry under ``old_prefix`` to ``new_prefix``.
+
+        Returns ``{old path: new path}`` for the entries that moved.  Used
+        when a whole directory is moved/renamed and by CopyCite's key
+        rewriting.
+        """
+        old_prefix = normalize_path(old_prefix)
+        moves: dict[str, str] = {}
+        for path in list(self._entries):
+            if path == old_prefix or is_ancestor(old_prefix, path):
+                moves[path] = rewrite_prefix(path, old_prefix, new_prefix)
+        for old, new in moves.items():
+            entry = self._entries.pop(old)
+            self._entries[new] = CitationEntry(
+                path=new, citation=entry.citation, is_directory=entry.is_directory
+            )
+        return moves
+
+    def drop_missing(self, existing_paths: set[str]) -> list[str]:
+        """Drop entries whose path no longer exists; returns the dropped paths.
+
+        ``existing_paths`` must contain canonical paths of both files and
+        directories present in the version (the root never needs to be
+        listed).  Used by MergeCite ("delete any entries that correspond to
+        files that were deleted by the Git merge") and by consistency repair.
+        """
+        dropped: list[str] = []
+        for path in list(self._entries):
+            if path == ROOT:
+                continue
+            if path not in existing_paths:
+                del self._entries[path]
+                dropped.append(path)
+        return sorted(dropped)
+
+    # ------------------------------------------------------------------
+    # Serialisation helpers (dict-of-dicts; the file layer adds key markup)
+    # ------------------------------------------------------------------
+
+    def to_entries(self) -> list[CitationEntry]:
+        return [self._entries[path] for path in sorted(self._entries)]
+
+    @classmethod
+    def from_entries(cls, entries: Iterator[CitationEntry] | list[CitationEntry]) -> "CitationFunction":
+        function = cls()
+        for entry in entries:
+            function._entries[entry.path] = entry
+        return function

@@ -1,0 +1,144 @@
+"""MergeCite: merging the citation functions of two branches.
+
+Section 3 of the paper: *"MergeCite merges two branches in the same
+repository, and merges the citation files while resolving conflicts.
+Although Git conflict resolution rules are used for all regular files, we do
+not use them on 'citation.cite' since it could leave the citation function
+inconsistent.  Instead, we simply take the union of the citation files, and
+delete any entries that correspond to files that were deleted by the Git
+merge.  Conflicts over the values associated with the same key in the new
+'citation.cite' file are then resolved by showing them to the user and
+asking the user to resolve the conflict."*
+
+This module implements exactly that algorithm over
+:class:`~repro.citation.function.CitationFunction` values; binding it to real
+branches of a repository (computing which files the Git merge kept) is the
+manager's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.citation.conflict import (
+    AskUserStrategy,
+    CitationConflict,
+    ConflictResolution,
+    ConflictStrategy,
+)
+from repro.citation.function import CitationFunction
+from repro.utils.paths import ROOT
+
+__all__ = ["MergeCiteResult", "merge_citation_functions"]
+
+
+@dataclass
+class MergeCiteResult:
+    """The outcome of merging two citation functions."""
+
+    function: CitationFunction
+    conflicts: list[CitationConflict] = field(default_factory=list)
+    resolutions: list[ConflictResolution] = field(default_factory=list)
+    unresolved: list[CitationConflict] = field(default_factory=list)
+    dropped_paths: list[str] = field(default_factory=list)
+
+    @property
+    def has_unresolved(self) -> bool:
+        return bool(self.unresolved)
+
+    @property
+    def conflict_paths(self) -> list[str]:
+        return sorted(conflict.path for conflict in self.conflicts)
+
+    @property
+    def auto_resolved_count(self) -> int:
+        return sum(1 for resolution in self.resolutions if resolution.resolved)
+
+
+def merge_citation_functions(
+    ours: CitationFunction,
+    theirs: CitationFunction,
+    base: Optional[CitationFunction] = None,
+    surviving_paths: Optional[Iterable[str]] = None,
+    strategy: Optional[ConflictStrategy] = None,
+) -> MergeCiteResult:
+    """Merge two citation functions according to the paper's MergeCite rule.
+
+    Parameters
+    ----------
+    ours, theirs:
+        The citation functions of the two branches being merged.
+    base:
+        The citation function of the merge base, when available.  It is only
+        used to classify conflicts (and by base-aware strategies such as
+        ``three-way``); the paper's plain union never consults it.
+    surviving_paths:
+        Canonical paths (files *and* directories) that exist in the merged
+        version.  Entries for paths outside this set are dropped, mirroring
+        "delete any entries that correspond to files that were deleted by the
+        Git merge".  ``None`` keeps every entry (a pure union).
+    strategy:
+        How to resolve same-key/different-value conflicts.  Defaults to
+        :class:`AskUserStrategy` with no chooser, i.e. conflicts are reported
+        unresolved and the caller (ultimately the user) must decide — the
+        paper's behaviour in a non-interactive setting.
+
+    Notes
+    -----
+    The result's function always keeps a root citation: if the two roots
+    conflict and stay unresolved, ours is kept provisionally so the merged
+    function remains total, and the conflict is still reported.
+    """
+    strategy = strategy or AskUserStrategy()
+    merged = CitationFunction()
+    conflicts: list[CitationConflict] = []
+    resolutions: list[ConflictResolution] = []
+    unresolved: list[CitationConflict] = []
+
+    ours_paths = set(ours.active_domain())
+    theirs_paths = set(theirs.active_domain())
+
+    for path in sorted(ours_paths | theirs_paths):
+        ours_entry = ours.entry(path)
+        theirs_entry = theirs.entry(path)
+        if ours_entry is not None and theirs_entry is None:
+            merged.put(path, ours_entry.citation, ours_entry.is_directory)
+            continue
+        if theirs_entry is not None and ours_entry is None:
+            merged.put(path, theirs_entry.citation, theirs_entry.is_directory)
+            continue
+        assert ours_entry is not None and theirs_entry is not None
+        if ours_entry.citation == theirs_entry.citation:
+            merged.put(path, ours_entry.citation, ours_entry.is_directory)
+            continue
+        base_entry = base.entry(path) if base is not None else None
+        conflict = CitationConflict(
+            path=path,
+            ours=ours_entry.citation,
+            theirs=theirs_entry.citation,
+            base=base_entry.citation if base_entry else None,
+            is_directory=ours_entry.is_directory or theirs_entry.is_directory,
+        )
+        conflicts.append(conflict)
+        resolution = strategy.resolve(conflict)
+        resolutions.append(resolution)
+        if resolution.resolved and resolution.citation is not None:
+            merged.put(path, resolution.citation, conflict.is_directory)
+        else:
+            unresolved.append(conflict)
+            if path == ROOT:
+                # Keep the merged function total: provisionally retain ours.
+                merged.put(path, ours_entry.citation, True)
+
+    dropped: list[str] = []
+    if surviving_paths is not None:
+        dropped = merged.drop_missing(set(surviving_paths))
+
+    return MergeCiteResult(
+        function=merged,
+        conflicts=conflicts,
+        resolutions=resolutions,
+        unresolved=unresolved,
+        dropped_paths=dropped,
+    )

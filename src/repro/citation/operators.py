@@ -1,0 +1,178 @@
+"""The user-facing citation operators: AddCite, DelCite, ModifyCite, GenCite.
+
+Section 2 of the paper: *"users may also modify its citation function by
+adding (AddCite), deleting (DelCite), or modifying (ModifyCite) citations.
+Each of these operators takes as input the path of the file/directory whose
+citation is being modified; AddCite and ModifyCite additionally take the
+value for the new or modified citation."*
+
+GenCite (generate citation) is the read-only operator the browser extension
+and local tool expose: it evaluates ``Cite(V,P)(n)`` without changing the
+citation function.
+
+Operators are plain dataclasses so they can be recorded, replayed (workload
+traces for the benchmarks), serialised and logged.  :func:`apply_operation`
+applies a single operator to a :class:`CitationFunction`;
+:class:`OperationLog` accumulates the applied operators of a session, which
+the manager uses to build informative commit messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.errors import CitationError
+from repro.citation.function import CitationFunction, ResolvedCitation
+from repro.citation.record import Citation
+from repro.utils.paths import normalize_path
+
+__all__ = [
+    "AddCite",
+    "DelCite",
+    "ModifyCite",
+    "GenCite",
+    "CitationOperation",
+    "OperationResult",
+    "OperationLog",
+    "apply_operation",
+    "apply_operations",
+]
+
+
+@dataclass(frozen=True)
+class AddCite:
+    """Attach a new citation to a path that does not have one yet."""
+
+    path: str
+    citation: Citation
+    is_directory: bool = False
+
+    kind = "AddCite"
+
+    def describe(self) -> str:
+        return f"AddCite({normalize_path(self.path)})"
+
+
+@dataclass(frozen=True)
+class DelCite:
+    """Remove the explicit citation attached to a path."""
+
+    path: str
+
+    kind = "DelCite"
+
+    def describe(self) -> str:
+        return f"DelCite({normalize_path(self.path)})"
+
+
+@dataclass(frozen=True)
+class ModifyCite:
+    """Replace the citation attached to a path."""
+
+    path: str
+    citation: Citation
+
+    kind = "ModifyCite"
+
+    def describe(self) -> str:
+        return f"ModifyCite({normalize_path(self.path)})"
+
+
+@dataclass(frozen=True)
+class GenCite:
+    """Generate (read) the citation of a path without modifying anything."""
+
+    path: str
+
+    kind = "GenCite"
+
+    def describe(self) -> str:
+        return f"GenCite({normalize_path(self.path)})"
+
+
+CitationOperation = Union[AddCite, DelCite, ModifyCite, GenCite]
+
+#: Operators that change the citation function (GenCite is read-only).
+MUTATING_KINDS = frozenset({"AddCite", "DelCite", "ModifyCite"})
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """What applying one operator produced."""
+
+    operation: CitationOperation
+    resolved: Optional[ResolvedCitation] = None
+    changed: bool = False
+
+    @property
+    def kind(self) -> str:
+        return self.operation.kind
+
+
+def apply_operation(function: CitationFunction, operation: CitationOperation) -> OperationResult:
+    """Apply one operator to ``function`` (mutating it in place for Add/Del/Modify).
+
+    Raises
+    ------
+    CitationExistsError
+        For AddCite on a path that already has an explicit citation.
+    CitationNotFoundError
+        For DelCite/ModifyCite on a path without an explicit citation.
+    ConsistencyError
+        For DelCite on the root (the root must stay cited) or GenCite on a
+        function without a root citation.
+    """
+    if isinstance(operation, AddCite):
+        function.attach(operation.path, operation.citation, is_directory=operation.is_directory)
+        return OperationResult(operation=operation, changed=True)
+    if isinstance(operation, ModifyCite):
+        function.replace(operation.path, operation.citation)
+        return OperationResult(operation=operation, changed=True)
+    if isinstance(operation, DelCite):
+        function.detach(operation.path)
+        return OperationResult(operation=operation, changed=True)
+    if isinstance(operation, GenCite):
+        resolved = function.resolve(operation.path)
+        return OperationResult(operation=operation, resolved=resolved, changed=False)
+    raise CitationError(f"unknown citation operation: {operation!r}")
+
+
+def apply_operations(
+    function: CitationFunction, operations: Iterable[CitationOperation]
+) -> list[OperationResult]:
+    """Apply a sequence of operators in order, returning each result."""
+    return [apply_operation(function, operation) for operation in operations]
+
+
+@dataclass
+class OperationLog:
+    """An append-only record of the operators applied in a working session.
+
+    The manager clears the log on every commit; its :meth:`summary` becomes
+    the default commit message, so the history records which citation
+    operations each version introduced (the "side-effect" updates of
+    Section 3).
+    """
+
+    results: list[OperationResult] = field(default_factory=list)
+
+    def record(self, result: OperationResult) -> None:
+        self.results.append(result)
+
+    def mutating(self) -> list[OperationResult]:
+        return [r for r in self.results if r.kind in MUTATING_KINDS]
+
+    def clear(self) -> None:
+        self.results.clear()
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> str:
+        """A compact description of the mutating operations, for commit messages."""
+        mutating = self.mutating()
+        if not mutating:
+            return "No citation changes"
+        parts = [result.operation.describe() for result in mutating]
+        return "; ".join(parts)

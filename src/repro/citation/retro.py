@@ -1,0 +1,247 @@
+"""Retroactive citations for repositories that were never citation-enabled.
+
+Section 5 of the paper lists this as future work: *"since many software
+repositories have already been developed without being 'citation-enabled',
+we would like to explore ways of adding retroactive citations and ensuring
+their consistency and preservation through the project history."*
+
+The implementation mines the commit history that already exists:
+
+1. :func:`attribute_history` walks the history of a version and computes, for
+   every file, the set of commit authors who touched it and the commit that
+   last modified it (renames detected by the diff layer carry attribution to
+   the new path).
+2. :func:`build_retroactive_function` turns that attribution into a citation
+   function at a chosen granularity:
+
+   * ``"root"`` — only the mandatory root citation (all contributors);
+   * ``"directory"`` — additionally cite every directory whose contributor
+     set differs from its parent's (the granularity question raised in the
+     paper's introduction);
+   * ``"file"`` — additionally cite every file whose contributor set differs
+     from the citation it would otherwise inherit.
+
+3. :func:`retrofit` applies the generated function to a repository by writing
+   ``citation.cite`` and committing, making the project citation-enabled from
+   that version onward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Literal, Optional
+
+from repro.citation.citefile import CITATION_FILE_PATH
+from repro.citation.function import CitationFunction
+from repro.citation.record import Citation
+from repro.utils.hashing import short_id
+from repro.utils.paths import ROOT, path_parent
+from repro.vcs.diff import diff_trees
+from repro.vcs.repository import Repository
+
+__all__ = [
+    "FileAttribution",
+    "AttributionIndex",
+    "RetroReport",
+    "attribute_history",
+    "build_retroactive_function",
+    "retrofit",
+]
+
+Granularity = Literal["root", "directory", "file"]
+
+
+@dataclass
+class FileAttribution:
+    """Provenance mined from history for a single file."""
+
+    path: str
+    authors: list[str] = field(default_factory=list)
+    last_commit_oid: str = ""
+    last_modified: Optional[datetime] = None
+    change_count: int = 0
+
+    def add_author(self, author: str) -> None:
+        if author not in self.authors:
+            self.authors.append(author)
+
+
+@dataclass
+class AttributionIndex:
+    """Attribution for every file of a version plus aggregate directory views."""
+
+    files: dict[str, FileAttribution] = field(default_factory=dict)
+    commits_scanned: int = 0
+
+    def directory_authors(self) -> dict[str, list[str]]:
+        """Aggregate author lists per directory (including the root)."""
+        directories: dict[str, list[str]] = {ROOT: []}
+        for attribution in self.files.values():
+            parent = path_parent(attribution.path)
+            while True:
+                bucket = directories.setdefault(parent, [])
+                for author in attribution.authors:
+                    if author not in bucket:
+                        bucket.append(author)
+                if parent == ROOT:
+                    break
+                parent = path_parent(parent)
+        return directories
+
+    def all_authors(self) -> list[str]:
+        """Every contributor in first-touched order."""
+        seen: list[str] = []
+        for attribution in self.files.values():
+            for author in attribution.authors:
+                if author not in seen:
+                    seen.append(author)
+        return seen
+
+
+def attribute_history(repo: Repository, ref: str = "HEAD") -> AttributionIndex:
+    """Mine per-file attribution from the history reachable from ``ref``.
+
+    Commits are replayed oldest-first; each commit's diff against its first
+    parent attributes the touched paths to the commit's author.  Files
+    carried over by renames keep their accumulated attribution under the new
+    path.  Only paths that still exist in ``ref`` remain in the result.
+    """
+    history = list(reversed(repo.log(ref)))
+    index = AttributionIndex()
+    for info in history:
+        index.commits_scanned += 1
+        commit = info.commit
+        parent_tree = (
+            repo.store.get_commit(commit.parent_oids[0]).tree_oid if commit.parent_oids else None
+        )
+        diff = diff_trees(repo.store, parent_tree, commit.tree_oid)
+        author = commit.author.name
+        when = commit.author.timestamp
+
+        for entry in diff.renamed:
+            if entry.old_path in index.files:
+                moved = index.files.pop(entry.old_path)
+                moved.path = entry.new_path
+                index.files[entry.new_path] = moved
+            attribution = index.files.setdefault(
+                entry.new_path, FileAttribution(path=entry.new_path)
+            )
+            if entry.old_oid != entry.new_oid:
+                attribution.add_author(author)
+                attribution.change_count += 1
+                attribution.last_commit_oid = info.oid
+                attribution.last_modified = when
+
+        for entry in diff.added + diff.modified:
+            path = entry.new_path or entry.old_path
+            attribution = index.files.setdefault(path, FileAttribution(path=path))
+            attribution.add_author(author)
+            attribution.change_count += 1
+            attribution.last_commit_oid = info.oid
+            attribution.last_modified = when
+
+        for entry in diff.deleted:
+            index.files.pop(entry.old_path, None)
+
+    surviving = set(repo.snapshot(ref))
+    index.files = {path: attr for path, attr in index.files.items() if path in surviving}
+    return index
+
+
+@dataclass
+class RetroReport:
+    """What retroactive citation generation produced."""
+
+    function: CitationFunction
+    granularity: Granularity
+    entries_created: int
+    contributors: list[str]
+    commits_scanned: int
+
+
+def _root_citation(repo: Repository, ref: str, index: AttributionIndex, url: Optional[str]) -> Citation:
+    tip_oid = repo.resolve(ref)
+    tip = repo.store.get_commit(tip_oid)
+    return Citation(
+        repo_name=repo.name,
+        owner=repo.owner,
+        committed_date=tip.committer.timestamp,
+        commit_id=short_id(tip_oid),
+        url=url or f"https://example.org/{repo.owner}/{repo.name}",
+        authors=tuple(index.all_authors()) or (repo.owner,),
+        title=repo.description or repo.name,
+    )
+
+
+def build_retroactive_function(
+    repo: Repository,
+    ref: str = "HEAD",
+    granularity: Granularity = "directory",
+    url: Optional[str] = None,
+) -> RetroReport:
+    """Generate a citation function for an existing, citation-less version."""
+    index = attribute_history(repo, ref)
+    root = _root_citation(repo, ref, index, url)
+    function = CitationFunction.with_root(root)
+    created = 1
+
+    if granularity in ("directory", "file"):
+        directory_authors = index.directory_authors()
+        for directory in sorted(directory_authors):
+            if directory == ROOT:
+                continue
+            authors = directory_authors[directory]
+            parent_authors = directory_authors.get(path_parent(directory), list(root.authors))
+            if authors and authors != parent_authors:
+                function.put(
+                    directory,
+                    root.with_changes(authors=tuple(authors)),
+                    is_directory=True,
+                )
+                created += 1
+
+    if granularity == "file":
+        for path in sorted(index.files):
+            if path == CITATION_FILE_PATH:
+                continue
+            attribution = index.files[path]
+            inherited = function.resolve(path).citation
+            if attribution.authors and tuple(attribution.authors) != inherited.authors:
+                file_citation = root.with_changes(
+                    authors=tuple(attribution.authors),
+                    commit_id=short_id(attribution.last_commit_oid) if attribution.last_commit_oid else root.commit_id,
+                    committed_date=attribution.last_modified or root.committed_date,
+                )
+                function.put(path, file_citation, is_directory=False)
+                created += 1
+
+    return RetroReport(
+        function=function,
+        granularity=granularity,
+        entries_created=created,
+        contributors=index.all_authors(),
+        commits_scanned=index.commits_scanned,
+    )
+
+
+def retrofit(
+    repo: Repository,
+    granularity: Granularity = "directory",
+    url: Optional[str] = None,
+    message: str = "Add retroactive citations",
+    timestamp: Optional[datetime] = None,
+) -> RetroReport:
+    """Make an existing repository citation-enabled at its current HEAD.
+
+    Builds the retroactive citation function, writes ``citation.cite`` to the
+    working tree and commits it.  The repository's history is left untouched
+    (the paper's open question of rewriting *past* versions is out of scope);
+    from this commit onward the GitCite tools manage the file as usual.
+    """
+    from repro.citation.citefile import dump_citation_bytes
+
+    report = build_retroactive_function(repo, granularity=granularity, url=url)
+    repo.write_file(CITATION_FILE_PATH, dump_citation_bytes(report.function))
+    repo.commit(message, timestamp=timestamp)
+    return report

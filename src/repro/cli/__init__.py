@@ -1,0 +1,18 @@
+"""The ``gitcite`` command-line tool (the paper's local executable tool).
+
+Section 3: *"When a project member downloads a copy of the project
+repository with Git, the GitCite local executable tool can be used to manage
+the citation file in the download.  In addition to implementing AddCite,
+DelCite, and ModifyCite, it also implements the CopyCite, MergeCite and
+ForkCite functions."*
+
+The tool operates on an on-disk working copy: repository state (objects,
+references, staging index) lives under ``.gitcite/`` next to the files, and
+every command loads it, applies the corresponding library operation and saves
+it back (:mod:`storage`).  ``python -m repro.cli`` and the ``gitcite`` console
+script both invoke :func:`repro.cli.main.main`.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,112 @@
+"""On-disk persistence for the command-line tool.
+
+A working copy managed by ``gitcite`` is an ordinary directory of files plus
+a ``.gitcite/`` metadata directory holding the serialised repository state:
+
+* ``state.json`` — the object store (type + base64 payload per object), the
+  reference store (branches, tags, HEAD) and repository identity;
+* the working tree is the directory itself (``.gitcite/`` excluded), imported
+  on load and exported on checkout, so users see and edit normal files while
+  the citation machinery keeps its history next to them.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+from pathlib import Path
+
+from repro.errors import CLIError
+from repro.utils.jsonutil import pretty_dumps, stable_loads
+from repro.vcs.ignore import IgnoreRules
+from repro.vcs.repository import Repository
+from repro.vcs.worktree import export_worktree, import_worktree
+
+__all__ = ["STATE_DIR", "STATE_FILE", "is_working_copy", "save_repository", "load_repository"]
+
+STATE_DIR = ".gitcite"
+STATE_FILE = "state.json"
+
+
+def _state_path(directory: str | os.PathLike[str]) -> Path:
+    return Path(directory) / STATE_DIR / STATE_FILE
+
+
+def is_working_copy(directory: str | os.PathLike[str]) -> bool:
+    """Whether ``directory`` contains a gitcite working copy."""
+    return _state_path(directory).is_file()
+
+
+def save_repository(repo: Repository, directory: str | os.PathLike[str],
+                    export_files: bool = True) -> Path:
+    """Serialise repository state under ``directory``/.gitcite and export the worktree."""
+    root = Path(directory)
+    state_path = _state_path(root)
+    state_path.parent.mkdir(parents=True, exist_ok=True)
+
+    objects = {
+        oid: {
+            "type": repo.store.get_type(oid),
+            "payload": base64.b64encode(repo.store.get(oid).serialize()).decode("ascii"),
+        }
+        for oid in repo.store.object_ids()
+    }
+    state = {
+        "version": 1,
+        "name": repo.name,
+        "owner": repo.owner,
+        "description": repo.description,
+        "default_branch": repo.refs.default_branch,
+        "head_branch": repo.refs.head_branch,
+        "head_oid": repo.refs.head_commit() if repo.refs.is_detached else None,
+        "branches": repo.refs.branches,
+        "tags": repo.refs.tags,
+        "objects": objects,
+    }
+    state_path.write_text(pretty_dumps(state) + "\n", encoding="utf-8")
+    if export_files:
+        export_worktree(repo, root)
+    return state_path
+
+
+def load_repository(directory: str | os.PathLike[str]) -> Repository:
+    """Reconstruct a repository from ``directory``/.gitcite plus the on-disk files."""
+    root = Path(directory)
+    state_path = _state_path(root)
+    if not state_path.is_file():
+        raise CLIError(
+            f"{root} is not a gitcite working copy (no {STATE_DIR}/{STATE_FILE}); run 'gitcite init'"
+        )
+    try:
+        state = stable_loads(state_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CLIError(f"corrupt gitcite state file: {exc}") from exc
+
+    repo = Repository.init(
+        name=state["name"],
+        owner=state["owner"],
+        default_branch=state.get("default_branch", "main"),
+        description=state.get("description", ""),
+    )
+    from repro.vcs.objects import deserialize_object
+
+    for oid, record in state.get("objects", {}).items():
+        obj = deserialize_object(record["type"], base64.b64decode(record["payload"]))
+        stored = repo.store.put(obj)
+        if stored != oid:
+            raise CLIError(f"object {oid} failed its integrity check on load")
+    for name, oid in state.get("branches", {}).items():
+        repo.refs.set_branch(name, oid)
+    for name, oid in state.get("tags", {}).items():
+        repo.refs.set_tag(name, oid)
+    if state.get("head_branch"):
+        repo.refs.attach_head(state["head_branch"])
+    elif state.get("head_oid"):
+        repo.refs.detach_head(state["head_oid"])
+
+    # The index mirrors HEAD; the working tree is whatever is on disk now.
+    head = repo.head_oid()
+    if head is not None:
+        repo.index.read_tree(repo.store, repo.store.get_commit(head).tree_oid)
+    import_worktree(repo, root, ignore=IgnoreRules(), replace=True)
+    return repo

@@ -1,0 +1,216 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+The reproduction spans several subsystems (a version-control substrate, a
+hosting-platform simulator, the citation model itself, formatters, an archive
+simulator and a command-line tool).  All of them raise exceptions derived from
+:class:`ReproError` so callers can catch a single base class at API
+boundaries, while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "VCSError",
+    "ObjectNotFoundError",
+    "InvalidObjectError",
+    "RefError",
+    "IndexError_",
+    "CheckoutError",
+    "MergeError",
+    "MergeConflictError",
+    "RemoteError",
+    "HubError",
+    "AuthenticationError",
+    "PermissionDeniedError",
+    "NotFoundError",
+    "ValidationError",
+    "RateLimitExceededError",
+    "CitationError",
+    "CitationNotFoundError",
+    "CitationExistsError",
+    "CitationConflictError",
+    "CitationFileError",
+    "InvalidCitationError",
+    "InvalidPathError",
+    "ConsistencyError",
+    "FormatError",
+    "ArchiveError",
+    "DepositError",
+    "CLIError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Version-control substrate (``repro.vcs``)
+# ---------------------------------------------------------------------------
+
+
+class VCSError(ReproError):
+    """Base class for errors raised by the version-control substrate."""
+
+
+class ObjectNotFoundError(VCSError):
+    """An object id was not present in the object store."""
+
+    def __init__(self, oid: str) -> None:
+        super().__init__(f"object not found: {oid}")
+        self.oid = oid
+
+
+class InvalidObjectError(VCSError):
+    """An object could not be parsed or failed integrity checks."""
+
+
+class RefError(VCSError):
+    """A branch, tag or HEAD reference was missing or malformed."""
+
+
+class IndexError_(VCSError):
+    """The staging index was used incorrectly (e.g. path outside the tree)."""
+
+
+class CheckoutError(VCSError):
+    """A working-tree checkout could not be completed."""
+
+
+class MergeError(VCSError):
+    """A merge could not be performed (e.g. unrelated histories)."""
+
+
+class MergeConflictError(MergeError):
+    """A three-way merge produced conflicts that the caller must resolve.
+
+    The conflicting paths are available on :attr:`conflicts`.
+    """
+
+    def __init__(self, conflicts: list[str]) -> None:
+        super().__init__(f"merge produced {len(conflicts)} conflict(s): {sorted(conflicts)}")
+        self.conflicts = list(conflicts)
+
+
+class RemoteError(VCSError):
+    """Push/pull/clone between repositories failed."""
+
+
+# ---------------------------------------------------------------------------
+# Hosting-platform simulator (``repro.hub``)
+# ---------------------------------------------------------------------------
+
+
+class HubError(ReproError):
+    """Base class for hosting-platform errors."""
+
+    status_code: int = 500
+
+
+class AuthenticationError(HubError):
+    """Missing or invalid credentials (HTTP 401 analogue)."""
+
+    status_code = 401
+
+
+class PermissionDeniedError(HubError):
+    """The authenticated user lacks the required permission (HTTP 403)."""
+
+    status_code = 403
+
+
+class NotFoundError(HubError):
+    """The requested hosted resource does not exist (HTTP 404)."""
+
+    status_code = 404
+
+
+class ValidationError(HubError):
+    """The request payload was malformed (HTTP 422)."""
+
+    status_code = 422
+
+
+class RateLimitExceededError(HubError):
+    """The client exhausted its request quota (HTTP 429)."""
+
+    status_code = 429
+
+
+# ---------------------------------------------------------------------------
+# Citation model (``repro.citation``)
+# ---------------------------------------------------------------------------
+
+
+class CitationError(ReproError):
+    """Base class for citation-model errors."""
+
+
+class CitationNotFoundError(CitationError):
+    """No explicit citation is attached to the given path."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"no explicit citation attached to path: {path!r}")
+        self.path = path
+
+
+class CitationExistsError(CitationError):
+    """AddCite was applied to a path that already has an explicit citation."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(
+            f"path already has an explicit citation: {path!r} (use ModifyCite instead)"
+        )
+        self.path = path
+
+
+class CitationConflictError(CitationError):
+    """MergeCite found same-key/different-value conflicts and no resolver."""
+
+    def __init__(self, paths: list[str]) -> None:
+        super().__init__(
+            f"citation merge produced {len(paths)} unresolved conflict(s): {sorted(paths)}"
+        )
+        self.paths = list(paths)
+
+
+class CitationFileError(CitationError):
+    """The ``citation.cite`` file is missing, malformed or inconsistent."""
+
+
+class InvalidCitationError(CitationError):
+    """A citation record failed validation."""
+
+
+class InvalidPathError(CitationError):
+    """A citation key is not a valid repository-relative POSIX path."""
+
+
+class ConsistencyError(CitationError):
+    """The citation function violates an invariant w.r.t. the project tree."""
+
+
+# ---------------------------------------------------------------------------
+# Formatters, archive, CLI
+# ---------------------------------------------------------------------------
+
+
+class FormatError(ReproError):
+    """A citation could not be rendered in the requested bibliographic format."""
+
+
+class ArchiveError(ReproError):
+    """Base class for archival-simulator errors (Zenodo / Software Heritage)."""
+
+
+class DepositError(ArchiveError):
+    """A Zenodo-style deposit could not be created or published."""
+
+
+class CLIError(ReproError):
+    """A command-line invocation failed; carries the intended exit status."""
+
+    def __init__(self, message: str, exit_code: int = 1) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code

@@ -1,0 +1,19 @@
+"""The GitCite browser-extension simulator.
+
+The paper's extension (Figure 2) is a Chrome popup written in JavaScript that
+talks to GitHub's REST API.  This package reproduces its behaviour in Python
+against the :mod:`repro.hub` platform simulator:
+
+* :mod:`client` — :class:`~repro.extension.client.ExtensionClient`, the
+  API-facing operations: generate a citation for any node of a remote
+  repository, and (for project members) add / modify / delete citations by
+  rewriting the remote ``citation.cite``;
+* :mod:`popup` — :class:`~repro.extension.popup.PopupSession`, the popup's
+  state machine: credential entry, node selection, the text box whose content
+  depends on membership, and the button-enablement rules of Section 3.
+"""
+
+from repro.extension.client import ExtensionClient, RemoteCitationView
+from repro.extension.popup import PopupSession, PopupView
+
+__all__ = ["ExtensionClient", "RemoteCitationView", "PopupSession", "PopupView"]

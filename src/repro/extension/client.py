@@ -1,0 +1,208 @@
+"""API-level operations of the GitCite browser extension.
+
+The extension never touches a local checkout: every read and write goes
+through the hosting platform's REST API, exactly as described in Section 3
+("The extension communicates with the GitHub servers using its REST API, and
+directly modifies the citation file on the remote repository").
+
+:class:`ExtensionClient` therefore works purely in terms of
+``owner/name`` slugs, refs and paths; it downloads ``citation.cite`` through
+the contents endpoint, evaluates the citation function locally, and — for
+project members — uploads the modified file back through the same endpoint.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CitationFileError, HubError, NotFoundError, PermissionDeniedError
+from repro.citation.citefile import CITATION_FILE_PATH, dumps_citation_file, loads_citation_file
+from repro.citation.function import CitationFunction, ResolvedCitation
+from repro.citation.operators import AddCite, DelCite, ModifyCite, apply_operation
+from repro.citation.record import Citation
+from repro.hub.api import RestApi
+from repro.utils.paths import normalize_path
+
+__all__ = ["ExtensionClient", "RemoteCitationView"]
+
+
+@dataclass(frozen=True)
+class RemoteCitationView:
+    """What the extension knows about one node of a remote repository."""
+
+    slug: str
+    ref: str
+    path: str
+    is_member: bool
+    explicit_citation: Optional[Citation]
+    resolved: ResolvedCitation
+
+    @property
+    def generated_text(self) -> str:
+        """The citation text shown in the popup's window (copy-paste ready)."""
+        return str(self.resolved.citation)
+
+
+class ExtensionClient:
+    """The extension's network layer plus citation logic."""
+
+    def __init__(self, api: RestApi, token: Optional[str] = None) -> None:
+        self.api = api
+        self.token = token
+
+    # ------------------------------------------------------------------
+    # Session / identity
+    # ------------------------------------------------------------------
+
+    def sign_in(self, token: str) -> str:
+        """Store credentials and return the authenticated login.
+
+        Raises :class:`~repro.errors.AuthenticationError`-shaped API failures
+        as :class:`HubError` so the popup can show them.
+        """
+        response = self.api.get("/user", token=token)
+        if not response.ok:
+            raise PermissionDeniedError(f"sign-in failed: {response.json.get('message')}")
+        self.token = token
+        return response.json["login"]
+
+    def sign_out(self) -> None:
+        self.token = None
+
+    def current_login(self) -> Optional[str]:
+        if self.token is None:
+            return None
+        response = self.api.get("/user", token=self.token)
+        return response.json["login"] if response.ok else None
+
+    # ------------------------------------------------------------------
+    # Remote repository inspection
+    # ------------------------------------------------------------------
+
+    def repository_info(self, slug: str) -> dict:
+        response = self.api.get(f"/repos/{slug}", token=self.token)
+        self._raise_for_status(response)
+        return response.json
+
+    def default_branch(self, slug: str) -> str:
+        return self.repository_info(slug)["default_branch"]
+
+    def is_member(self, slug: str) -> bool:
+        """Whether the signed-in user may modify files (add/delete citations)."""
+        login = self.current_login()
+        if login is None:
+            return False
+        response = self.api.get(f"/repos/{slug}/collaborators/{login}/permission", token=self.token)
+        if not response.ok:
+            return False
+        return response.json["permission"] in ("write", "admin")
+
+    def citation_function(self, slug: str, ref: Optional[str] = None) -> CitationFunction:
+        """Download and parse the remote ``citation.cite`` of a version."""
+        ref = ref or self.default_branch(slug)
+        url = f"/repos/{slug}/contents{CITATION_FILE_PATH}?ref={ref}"
+        response = self.api.get(url, token=self.token)
+        if response.status == 404:
+            raise CitationFileError(
+                f"{slug}@{ref} is not citation-enabled (no {CITATION_FILE_PATH[1:]} found)"
+            )
+        self._raise_for_status(response)
+        text = base64.b64decode(response.json["content"]).decode("utf-8")
+        return loads_citation_file(text)
+
+    # ------------------------------------------------------------------
+    # GenCite (available to everyone with read access)
+    # ------------------------------------------------------------------
+
+    def view_node(self, slug: str, path: str, ref: Optional[str] = None) -> RemoteCitationView:
+        """Gather what the popup needs for one node (Figure 2's main view)."""
+        ref = ref or self.default_branch(slug)
+        function = self.citation_function(slug, ref)
+        canonical = normalize_path(path)
+        return RemoteCitationView(
+            slug=slug,
+            ref=ref,
+            path=canonical,
+            is_member=self.is_member(slug),
+            explicit_citation=function.get_explicit(canonical),
+            resolved=function.resolve(canonical),
+        )
+
+    def generate_citation(self, slug: str, path: str, ref: Optional[str] = None) -> ResolvedCitation:
+        """GenCite for a remote node: evaluate ``Cite(V,P)(path)`` remotely."""
+        return self.view_node(slug, path, ref=ref).resolved
+
+    # ------------------------------------------------------------------
+    # AddCite / ModifyCite / DelCite (project members only)
+    # ------------------------------------------------------------------
+
+    def add_citation(
+        self,
+        slug: str,
+        path: str,
+        citation: Citation,
+        ref: Optional[str] = None,
+        is_directory: bool = False,
+    ) -> str:
+        """Attach a citation to a remote node by rewriting ``citation.cite``."""
+        return self._mutate(
+            slug,
+            ref,
+            AddCite(path=path, citation=citation, is_directory=is_directory),
+            f"AddCite {normalize_path(path)} via GitCite extension",
+        )
+
+    def modify_citation(
+        self, slug: str, path: str, citation: Citation, ref: Optional[str] = None
+    ) -> str:
+        """Replace the citation of a remote node."""
+        return self._mutate(
+            slug,
+            ref,
+            ModifyCite(path=path, citation=citation),
+            f"ModifyCite {normalize_path(path)} via GitCite extension",
+        )
+
+    def delete_citation(self, slug: str, path: str, ref: Optional[str] = None) -> str:
+        """Remove the explicit citation of a remote node."""
+        return self._mutate(
+            slug,
+            ref,
+            DelCite(path=path),
+            f"DelCite {normalize_path(path)} via GitCite extension",
+        )
+
+    def _mutate(self, slug: str, ref: Optional[str], operation, message: str) -> str:
+        if not self.is_member(slug):
+            raise PermissionDeniedError(
+                "only project members may add, modify or delete citations "
+                "(non-members can still generate citations)"
+            )
+        ref = ref or self.default_branch(slug)
+        function = self.citation_function(slug, ref)
+        apply_operation(function, operation)
+        payload = {
+            "message": message,
+            "content": base64.b64encode(dumps_citation_file(function).encode("utf-8")).decode("ascii"),
+            "branch": ref,
+        }
+        response = self.api.put(
+            f"/repos/{slug}/contents{CITATION_FILE_PATH}", payload, token=self.token
+        )
+        self._raise_for_status(response)
+        return response.json["commit"]["sha"]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _raise_for_status(response) -> None:
+        if response.ok:
+            return
+        message = (response.json or {}).get("message", "request failed")
+        if response.status == 404:
+            raise NotFoundError(message)
+        if response.status == 403:
+            raise PermissionDeniedError(message)
+        raise HubError(message)

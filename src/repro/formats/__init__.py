@@ -1,0 +1,36 @@
+"""Bibliographic renderings of citations.
+
+The motivation of the paper is that community standards for software citation
+(FORCE11, the Software Sustainability Institute recommendations, the Citation
+File Format) exist but are tedious to produce by hand.  The GitCite model
+produces a :class:`~repro.citation.record.Citation` value; this package
+renders that value in the formats a bibliography manager or an archive
+expects:
+
+* ``bibtex`` — a BibTeX ``@software`` entry;
+* ``cff`` — a ``CITATION.cff`` (Citation File Format) document;
+* ``ris`` — an RIS/EndNote record;
+* ``apa`` — an APA-style textual citation;
+* ``datacite`` — DataCite-style JSON metadata (what a Zenodo deposit needs).
+
+:func:`render` dispatches by format name; :func:`available_formats` lists the
+registry (which the CLI's ``export`` command exposes).
+"""
+
+from repro.formats.registry import available_formats, get_formatter, render
+from repro.formats.bibtex import render_bibtex
+from repro.formats.cff import render_cff
+from repro.formats.ris import render_ris
+from repro.formats.apa import render_apa
+from repro.formats.datacite import render_datacite
+
+__all__ = [
+    "available_formats",
+    "get_formatter",
+    "render",
+    "render_bibtex",
+    "render_cff",
+    "render_ris",
+    "render_apa",
+    "render_datacite",
+]

@@ -1,0 +1,46 @@
+"""APA-style textual rendering of citations."""
+
+from __future__ import annotations
+
+from repro.citation.record import Citation
+
+__all__ = ["render_apa", "format_author_list"]
+
+
+def _apa_author(full_name: str) -> str:
+    """Convert ``"Susan B. Davidson"`` to ``"Davidson, S. B."``."""
+    parts = full_name.strip().split()
+    if not parts:
+        return full_name
+    if len(parts) == 1:
+        return parts[0]
+    family = parts[-1]
+    initials = " ".join(f"{p[0]}." for p in parts[:-1] if p)
+    return f"{family}, {initials}"
+
+
+def format_author_list(authors: tuple[str, ...] | list[str]) -> str:
+    """Join authors the APA way (ampersand before the last author)."""
+    formatted = [_apa_author(author) for author in authors]
+    if not formatted:
+        return ""
+    if len(formatted) == 1:
+        return formatted[0]
+    return ", ".join(formatted[:-1]) + ", & " + formatted[-1]
+
+
+def render_apa(citation: Citation, cited_path: str | None = None) -> str:
+    """Render a citation as an APA-style reference line."""
+    authors = format_author_list(citation.authors or (citation.owner,))
+    date = citation.committed_date
+    title = citation.title or citation.repo_name
+    version = citation.version or f"commit {citation.commit_id}"
+    pieces = [
+        f"{authors} ({date.year}, {date.strftime('%B')} {date.day}).",
+        f"{title} ({version}) [Computer software].",
+    ]
+    if cited_path and cited_path != "/":
+        pieces.append(f"Path: {cited_path}.")
+    pieces.append(f"{citation.owner}.")
+    pieces.append(citation.doi and f"https://doi.org/{citation.doi}" or citation.url)
+    return " ".join(pieces) + "\n"

@@ -1,0 +1,57 @@
+"""BibTeX rendering of citations (``@software`` entries)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.citation.record import Citation
+
+__all__ = ["render_bibtex", "bibtex_key"]
+
+_KEY_SANITIZER = re.compile(r"[^A-Za-z0-9]+")
+
+
+def bibtex_key(citation: Citation, suffix: str | None = None) -> str:
+    """Build a stable BibTeX key such as ``wu_data_citation_demo_2018``."""
+    author = citation.primary_author.split()[-1] if citation.primary_author else citation.owner
+    parts = [author, citation.repo_name, str(citation.year)]
+    if suffix:
+        parts.append(suffix)
+    key = "_".join(_KEY_SANITIZER.sub("_", part).strip("_").lower() for part in parts if part)
+    return key or "software"
+
+
+def _escape(value: str) -> str:
+    return value.replace("{", r"\{").replace("}", r"\}").replace("&", r"\&").replace("%", r"\%")
+
+
+def render_bibtex(citation: Citation, cited_path: str | None = None) -> str:
+    """Render a citation as a BibTeX ``@software`` entry.
+
+    ``cited_path`` (the node the citation was generated for) is recorded in a
+    ``note`` field when it is not the project root, so fine-grained citations
+    remain distinguishable in the bibliography.
+    """
+    fields: list[tuple[str, str]] = []
+    authors = " and ".join(citation.authors) if citation.authors else citation.owner
+    fields.append(("author", _escape(authors)))
+    fields.append(("title", _escape(citation.title or citation.repo_name)))
+    fields.append(("year", str(citation.year)))
+    fields.append(("month", str(citation.committed_date.month)))
+    fields.append(("url", citation.url))
+    fields.append(("version", citation.version or citation.commit_id))
+    if citation.doi:
+        fields.append(("doi", citation.doi))
+    if citation.license:
+        fields.append(("license", _escape(str(citation.license))))
+    organization = citation.owner
+    fields.append(("organization", _escape(organization)))
+    note_parts = [f"Commit {citation.commit_id}", f"committed {citation.committed_date_string}"]
+    if cited_path and cited_path != "/":
+        note_parts.append(f"cited path {cited_path}")
+    if citation.swhid:
+        note_parts.append(f"SWHID {citation.swhid}")
+    fields.append(("note", _escape("; ".join(note_parts))))
+
+    body = ",\n".join(f"  {name} = {{{value}}}" for name, value in fields)
+    return f"@software{{{bibtex_key(citation)},\n{body}\n}}\n"

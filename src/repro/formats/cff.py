@@ -1,0 +1,68 @@
+"""Citation File Format (``CITATION.cff``) rendering.
+
+The paper cites the CFF standard [9, 10] as one of the recommendation efforts
+GitCite automates.  CFF is YAML; to stay dependency-free the renderer emits
+the small, flat subset of YAML the format needs (block sequences of mappings
+for authors, plain scalars elsewhere), which standard CFF tooling parses.
+"""
+
+from __future__ import annotations
+
+from repro.citation.record import Citation
+
+__all__ = ["render_cff", "parse_author_name"]
+
+CFF_VERSION = "1.2.0"
+
+
+def parse_author_name(full_name: str) -> tuple[str, str]:
+    """Split a display name into (given names, family name).
+
+    CFF represents people as given/family pairs; a single-word name is
+    treated as a family name (matching cffinit's behaviour).
+    """
+    parts = full_name.strip().split()
+    if not parts:
+        return "", ""
+    if len(parts) == 1:
+        return "", parts[0]
+    return " ".join(parts[:-1]), parts[-1]
+
+
+def _quote(value: str) -> str:
+    escaped = str(value).replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def render_cff(citation: Citation, cited_path: str | None = None) -> str:
+    """Render a citation as a ``CITATION.cff`` document."""
+    lines: list[str] = []
+    lines.append(f"cff-version: {CFF_VERSION}")
+    lines.append("message: " + _quote("If you use this software, please cite it as below."))
+    lines.append("type: software")
+    lines.append("title: " + _quote(citation.title or citation.repo_name))
+    authors = citation.authors or (citation.owner,)
+    lines.append("authors:")
+    for author in authors:
+        given, family = parse_author_name(author)
+        lines.append(f"  - family-names: {_quote(family)}")
+        if given:
+            lines.append(f"    given-names: {_quote(given)}")
+    lines.append(f"version: {_quote(citation.version or citation.commit_id)}")
+    lines.append(f"commit: {_quote(citation.commit_id)}")
+    lines.append(f"date-released: {_quote(citation.committed_date.date().isoformat())}")
+    lines.append(f"repository-code: {_quote(citation.url)}")
+    lines.append(f"url: {_quote(citation.url)}")
+    if citation.doi:
+        lines.append(f"doi: {_quote(citation.doi)}")
+    if citation.license:
+        lines.append(f"license: {_quote(str(citation.license))}")
+    if citation.swhid:
+        lines.append("identifiers:")
+        lines.append("  - type: swh")
+        lines.append(f"    value: {_quote(citation.swhid)}")
+    if cited_path and cited_path != "/":
+        lines.append("notes: " + _quote(f"Citation generated for path {cited_path}"))
+    elif citation.description:
+        lines.append("abstract: " + _quote(citation.description))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""DataCite-style JSON metadata rendering.
+
+Zenodo mints DOIs by registering DataCite metadata; the archive simulator
+(:mod:`repro.archive.zenodo`) stores exactly this payload with every deposit,
+so a GitCite citation can round-trip through "upload a release to Zenodo,
+get a DOI, put the DOI back into the root citation".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.citation.record import Citation
+from repro.formats.cff import parse_author_name
+
+__all__ = ["render_datacite", "datacite_payload"]
+
+
+def datacite_payload(citation: Citation, cited_path: str | None = None) -> dict[str, Any]:
+    """Build the DataCite metadata dictionary for a citation."""
+    creators = []
+    for author in citation.authors or (citation.owner,):
+        given, family = parse_author_name(author)
+        creators.append(
+            {
+                "name": f"{family}, {given}".strip(", "),
+                "givenName": given,
+                "familyName": family,
+            }
+        )
+    payload: dict[str, Any] = {
+        "titles": [{"title": citation.title or citation.repo_name}],
+        "creators": creators,
+        "publisher": citation.owner,
+        "publicationYear": citation.year,
+        "dates": [{"date": citation.committed_date.date().isoformat(), "dateType": "Issued"}],
+        "types": {"resourceTypeGeneral": "Software", "resourceType": "Software repository"},
+        "version": citation.version or citation.commit_id,
+        "url": citation.url,
+        "relatedIdentifiers": [
+            {
+                "relatedIdentifier": citation.url,
+                "relatedIdentifierType": "URL",
+                "relationType": "IsSupplementTo",
+            }
+        ],
+    }
+    if citation.doi:
+        payload["identifiers"] = [{"identifier": citation.doi, "identifierType": "DOI"}]
+    if citation.license:
+        payload["rightsList"] = [{"rights": str(citation.license)}]
+    if citation.description:
+        payload["descriptions"] = [
+            {"description": citation.description, "descriptionType": "Abstract"}
+        ]
+    if citation.swhid:
+        payload.setdefault("identifiers", []).append(
+            {"identifier": citation.swhid, "identifierType": "SWHID"}
+        )
+    if cited_path and cited_path != "/":
+        payload.setdefault("descriptions", []).append(
+            {"description": f"Citation generated for path {cited_path}", "descriptionType": "Other"}
+        )
+    return payload
+
+
+def render_datacite(citation: Citation, cited_path: str | None = None) -> str:
+    """Render the DataCite metadata as pretty-printed JSON."""
+    import json
+
+    return json.dumps(datacite_payload(citation, cited_path), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,51 @@
+"""Format registry: dispatch citation rendering by format name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FormatError
+from repro.citation.record import Citation
+from repro.formats.apa import render_apa
+from repro.formats.bibtex import render_bibtex
+from repro.formats.cff import render_cff
+from repro.formats.datacite import render_datacite
+from repro.formats.ris import render_ris
+
+__all__ = ["available_formats", "get_formatter", "render"]
+
+Formatter = Callable[..., str]
+
+_FORMATTERS: dict[str, Formatter] = {
+    "bibtex": render_bibtex,
+    "cff": render_cff,
+    "ris": render_ris,
+    "apa": render_apa,
+    "datacite": render_datacite,
+    "text": lambda citation, cited_path=None: str(citation) + "\n",
+    "json": lambda citation, cited_path=None: __import__("json").dumps(
+        citation.to_dict(), indent=2, sort_keys=True
+    )
+    + "\n",
+}
+
+
+def available_formats() -> list[str]:
+    """The format names accepted by :func:`render` and the CLI's ``export``."""
+    return sorted(_FORMATTERS)
+
+
+def get_formatter(name: str) -> Formatter:
+    """Return the renderer registered under ``name``."""
+    try:
+        return _FORMATTERS[name.lower()]
+    except KeyError:
+        raise FormatError(
+            f"unknown citation format {name!r}; choose from {available_formats()}"
+        ) from None
+
+
+def render(citation: Citation, format_name: str, cited_path: str | None = None) -> str:
+    """Render ``citation`` in the named format."""
+    formatter = get_formatter(format_name)
+    return formatter(citation, cited_path=cited_path)

@@ -1,0 +1,31 @@
+"""RIS (EndNote/Reference Manager) rendering of citations."""
+
+from __future__ import annotations
+
+from repro.citation.record import Citation
+
+__all__ = ["render_ris"]
+
+
+def render_ris(citation: Citation, cited_path: str | None = None) -> str:
+    """Render a citation as an RIS record (type ``COMP`` — computer program)."""
+    lines: list[str] = ["TY  - COMP"]
+    for author in citation.authors or (citation.owner,):
+        lines.append(f"AU  - {author}")
+    lines.append(f"TI  - {citation.title or citation.repo_name}")
+    lines.append(f"PY  - {citation.year}")
+    date = citation.committed_date
+    lines.append(f"DA  - {date.year}/{date.month:02d}/{date.day:02d}")
+    lines.append(f"PB  - {citation.owner}")
+    lines.append(f"UR  - {citation.url}")
+    lines.append(f"ET  - {citation.version or citation.commit_id}")
+    if citation.doi:
+        lines.append(f"DO  - {citation.doi}")
+    notes = [f"Commit {citation.commit_id}"]
+    if cited_path and cited_path != "/":
+        notes.append(f"cited path {cited_path}")
+    if citation.swhid:
+        notes.append(f"SWHID {citation.swhid}")
+    lines.append(f"N1  - {'; '.join(notes)}")
+    lines.append("ER  - ")
+    return "\n".join(lines) + "\n"

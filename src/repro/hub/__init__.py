@@ -1,0 +1,30 @@
+"""An in-process hosting-platform simulator standing in for GitHub.
+
+The GitCite browser extension "communicates with the GitHub servers using its
+REST API, and directly modifies the citation file on the remote repository"
+(Section 3).  This package provides everything that interaction needs,
+offline and deterministic:
+
+* :mod:`models` — users, access tokens, roles and hosted repositories;
+* :mod:`auth` — token issuance and verification;
+* :mod:`ratelimit` — a request quota per token (GitHub-style 403/429);
+* :mod:`server` — :class:`~repro.hub.server.HostingPlatform`, the stateful
+  service (accounts, repositories, permissions, forks, contents);
+* :mod:`api` — a REST-shaped façade over the platform with routes, status
+  codes and JSON payloads, which is what the browser-extension simulator
+  talks to.
+"""
+
+from repro.hub.models import AccessToken, HostedRepository, Permission, User
+from repro.hub.server import HostingPlatform
+from repro.hub.api import ApiResponse, RestApi
+
+__all__ = [
+    "AccessToken",
+    "HostedRepository",
+    "Permission",
+    "User",
+    "HostingPlatform",
+    "ApiResponse",
+    "RestApi",
+]

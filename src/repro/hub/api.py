@@ -1,0 +1,266 @@
+"""A REST-shaped façade over the hosting platform.
+
+The browser extension in the paper talks to GitHub through its REST API.
+:class:`RestApi` reproduces the relevant endpoints — repository metadata,
+permissions, contents read/write/delete, forks, commit listings — with the
+same verbs, route shapes, status codes and (simplified) JSON payloads, so the
+extension simulator exercises the same request/response discipline a real
+extension would, including authentication failures and rate limiting.
+
+Routes implemented::
+
+    GET    /user
+    GET    /rate_limit
+    GET    /repos/{owner}/{repo}
+    GET    /repos/{owner}/{repo}/branches
+    GET    /repos/{owner}/{repo}/commits?sha={ref}
+    GET    /repos/{owner}/{repo}/collaborators/{username}/permission
+    GET    /repos/{owner}/{repo}/git/trees/{ref}
+    GET    /repos/{owner}/{repo}/contents/{path}?ref={ref}
+    PUT    /repos/{owner}/{repo}/contents/{path}
+    DELETE /repos/{owner}/{repo}/contents/{path}
+    POST   /repos/{owner}/{repo}/forks
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import HubError, NotFoundError, ValidationError
+from repro.hub.models import Permission
+from repro.hub.server import HostingPlatform
+
+__all__ = ["ApiResponse", "RestApi"]
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """A simplified HTTP response."""
+
+    status: int
+    json: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass
+class _Route:
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+
+
+class RestApi:
+    """Dispatch REST-style requests to a :class:`HostingPlatform`."""
+
+    def __init__(self, platform: HostingPlatform) -> None:
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        token: Optional[str] = None,
+        payload: Optional[dict] = None,
+    ) -> ApiResponse:
+        """Perform a request; errors become status codes instead of exceptions."""
+        route = self._parse(method, url)
+        try:
+            self._check_rate_limit(token, route)
+            handler = self._resolve_handler(route)
+            body = handler(route, token, payload or {})
+            status = 201 if method.upper() in ("POST", "PUT") else 200
+            if method.upper() == "DELETE":
+                status = 200
+            return ApiResponse(status=status, json=body)
+        except HubError as exc:
+            return ApiResponse(status=exc.status_code, json={"message": str(exc)})
+
+    # Convenience verbs ---------------------------------------------------
+
+    def get(self, url: str, token: Optional[str] = None) -> ApiResponse:
+        return self.request("GET", url, token=token)
+
+    def put(self, url: str, payload: dict, token: Optional[str] = None) -> ApiResponse:
+        return self.request("PUT", url, token=token, payload=payload)
+
+    def post(self, url: str, payload: Optional[dict] = None, token: Optional[str] = None) -> ApiResponse:
+        return self.request("POST", url, token=token, payload=payload)
+
+    def delete(self, url: str, payload: Optional[dict] = None, token: Optional[str] = None) -> ApiResponse:
+        return self.request("DELETE", url, token=token, payload=payload)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _parse(self, method: str, url: str) -> _Route:
+        split = urlsplit(url)
+        query = {key: values[0] for key, values in parse_qs(split.query).items()}
+        path = split.path.rstrip("/") or "/"
+        return _Route(method=method.upper(), path=path, query=query)
+
+    def _check_rate_limit(self, token: Optional[str], route: _Route) -> None:
+        if route.path == "/rate_limit":
+            return
+        identity = None
+        if token is not None:
+            access = self.platform.tokens.authenticate(token)
+            identity = access.login if access else None
+        self.platform.rate_limiter.check(identity)
+
+    def _resolve_handler(self, route: _Route):
+        parts = [part for part in route.path.split("/") if part]
+        method = route.method
+
+        if route.path == "/user" and method == "GET":
+            return self._get_user
+        if route.path == "/rate_limit" and method == "GET":
+            return self._get_rate_limit
+        if len(parts) >= 3 and parts[0] == "repos":
+            if len(parts) == 3 and method == "GET":
+                return self._get_repo
+            if len(parts) == 4 and parts[3] == "branches" and method == "GET":
+                return self._get_branches
+            if len(parts) == 4 and parts[3] == "commits" and method == "GET":
+                return self._get_commits
+            if len(parts) == 4 and parts[3] == "forks" and method == "POST":
+                return self._post_fork
+            if len(parts) == 6 and parts[3] == "collaborators" and parts[5] == "permission" and method == "GET":
+                return self._get_permission
+            if len(parts) >= 5 and parts[3] == "git" and parts[4] == "trees" and method == "GET":
+                return self._get_tree
+            if len(parts) >= 5 and parts[3] == "contents":
+                if method == "GET":
+                    return self._get_contents
+                if method == "PUT":
+                    return self._put_contents
+                if method == "DELETE":
+                    return self._delete_contents
+        raise NotFoundError(f"no such endpoint: {route.method} {route.path}")
+
+    @staticmethod
+    def _slug(route: _Route) -> str:
+        parts = [part for part in route.path.split("/") if part]
+        return f"{parts[1]}/{parts[2]}"
+
+    @staticmethod
+    def _contents_path(route: _Route) -> str:
+        parts = [part for part in route.path.split("/") if part]
+        return "/" + "/".join(parts[4:])
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _get_user(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        access = self.platform.tokens.authenticate(token)
+        if access is None:
+            raise NotFoundError("requires authentication")
+        user = self.platform.get_user(access.login)
+        return {"login": user.login, "name": user.name, "email": user.email}
+
+    def _get_rate_limit(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        access = self.platform.tokens.authenticate(token) if token else None
+        status = self.platform.rate_limiter.status(access.login if access else None)
+        return {
+            "resources": {
+                "core": {"limit": status.limit, "used": status.used, "remaining": status.remaining}
+            }
+        }
+
+    def _get_repo(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        hosted = self.platform.get_repository(self._slug(route), token=token)
+        body = hosted.to_dict()
+        body["html_url"] = self.platform.repository_url(hosted.full_name)
+        return body
+
+    def _get_branches(self, route: _Route, token: Optional[str], payload: dict) -> list[dict]:
+        branches = self.platform.branches(self._slug(route), token=token)
+        return [{"name": name, "commit": {"sha": oid}} for name, oid in sorted(branches.items())]
+
+    def _get_commits(self, route: _Route, token: Optional[str], payload: dict) -> list[dict]:
+        ref = route.query.get("sha")
+        limit = int(route.query["per_page"]) if "per_page" in route.query else None
+        return self.platform.commits(self._slug(route), ref=ref, token=token, limit=limit)
+
+    def _get_permission(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        parts = [part for part in route.path.split("/") if part]
+        username = parts[4]
+        hosted = self.platform.get_repository(self._slug(route), token=token)
+        permission = hosted.permission_for(username)
+        label = {
+            Permission.ADMIN: "admin",
+            Permission.WRITE: "write",
+            Permission.READ: "read",
+            Permission.NONE: "none",
+        }[permission]
+        return {"permission": label, "user": {"login": username}}
+
+    def _get_tree(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        parts = [part for part in route.path.split("/") if part]
+        ref = parts[5] if len(parts) > 5 else None
+        listing = self.platform.list_tree(self._slug(route), ref=ref, token=token)
+        return {"tree": listing, "truncated": False}
+
+    def _get_contents(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        slug = self._slug(route)
+        path = self._contents_path(route)
+        ref = route.query.get("ref")
+        data = self.platform.get_file(slug, path, ref=ref, token=token)
+        return {
+            "path": path.lstrip("/"),
+            "encoding": "base64",
+            "content": base64.b64encode(data).decode("ascii"),
+            "size": len(data),
+        }
+
+    def _put_contents(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        slug = self._slug(route)
+        path = self._contents_path(route)
+        if "content" not in payload or "message" not in payload:
+            raise ValidationError("PUT contents requires 'message' and base64 'content' fields")
+        try:
+            content = base64.b64decode(payload["content"])
+        except Exception as exc:
+            raise ValidationError(f"content is not valid base64: {exc}") from exc
+        commit_oid = self.platform.put_file(
+            slug,
+            path,
+            content,
+            message=payload["message"],
+            token=token,
+            branch=payload.get("branch"),
+            author_name=(payload.get("committer") or {}).get("name"),
+        )
+        return {"content": {"path": path.lstrip("/")}, "commit": {"sha": commit_oid}}
+
+    def _delete_contents(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        slug = self._slug(route)
+        path = self._contents_path(route)
+        if "message" not in payload:
+            raise ValidationError("DELETE contents requires a 'message' field")
+        commit_oid = self.platform.delete_file(
+            slug,
+            path,
+            message=payload["message"],
+            token=token,
+            branch=payload.get("branch"),
+            author_name=(payload.get("committer") or {}).get("name"),
+        )
+        return {"content": None, "commit": {"sha": commit_oid}}
+
+    def _post_fork(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        hosted = self.platform.fork(self._slug(route), token=token, new_name=(payload or {}).get("name"))
+        body = hosted.to_dict()
+        body["html_url"] = self.platform.repository_url(hosted.full_name)
+        return body

@@ -1,0 +1,63 @@
+"""Token issuance and verification for the hosting platform.
+
+Tokens are deterministic (derived from the login and an issuance counter) so
+scenario builders and tests can hard-code them; nothing about the citation
+model depends on token randomness.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import AuthenticationError
+from repro.hub.models import AccessToken, User
+from repro.utils.hashing import sha1_hex
+from repro.utils.timeutil import now_utc
+
+__all__ = ["TokenAuthority"]
+
+
+class TokenAuthority:
+    """Issues and validates personal access tokens."""
+
+    def __init__(self) -> None:
+        self._tokens: dict[str, AccessToken] = {}
+        self._issued: dict[str, int] = {}
+
+    def issue(self, user: User, scopes: tuple[str, ...] = ("repo",),
+              created_at: Optional[datetime] = None) -> AccessToken:
+        """Issue a new token for ``user``."""
+        count = self._issued.get(user.login, 0) + 1
+        self._issued[user.login] = count
+        value = "ghs_" + sha1_hex(f"{user.login}:{count}".encode("utf-8"))[:36]
+        token = AccessToken(
+            value=value,
+            login=user.login,
+            created_at=created_at or now_utc(),
+            scopes=tuple(scopes),
+        )
+        self._tokens[value] = token
+        return token
+
+    def revoke(self, value: str) -> None:
+        """Revoke a token (unknown tokens are ignored)."""
+        self._tokens.pop(value, None)
+
+    def authenticate(self, value: Optional[str]) -> Optional[AccessToken]:
+        """Resolve a token value to its :class:`AccessToken`.
+
+        ``None`` (no credentials) is allowed and returns ``None`` — public
+        repositories are readable anonymously.  An *invalid* token raises, as
+        GitHub does with HTTP 401.
+        """
+        if value is None:
+            return None
+        token = self._tokens.get(value)
+        if token is None:
+            raise AuthenticationError("invalid or revoked access token")
+        return token
+
+    def tokens_for(self, login: str) -> list[AccessToken]:
+        """All live tokens of a user (for the admin views in examples)."""
+        return [token for token in self._tokens.values() if token.login == login]

@@ -1,0 +1,81 @@
+"""Request quotas, modelled on the GitHub REST API rate limits.
+
+The browser extension talks to the platform through authenticated requests;
+GitHub enforces a per-token quota (and a much lower anonymous quota).  The
+simulator reproduces that behaviour deterministically: quotas are counted per
+identity and reset explicitly (benchmarks reset between iterations) rather
+than by wall-clock windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RateLimitExceededError
+
+__all__ = ["RateLimiter", "QuotaStatus", "AUTHENTICATED_LIMIT", "ANONYMOUS_LIMIT"]
+
+#: Default request quotas (requests per window), mirroring GitHub's 5000/60.
+AUTHENTICATED_LIMIT = 5000
+ANONYMOUS_LIMIT = 60
+
+
+@dataclass(frozen=True)
+class QuotaStatus:
+    """Remaining quota for one identity."""
+
+    identity: str
+    limit: int
+    used: int
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.limit - self.used)
+
+
+class RateLimiter:
+    """Per-identity request counting with hard limits."""
+
+    def __init__(
+        self,
+        authenticated_limit: int = AUTHENTICATED_LIMIT,
+        anonymous_limit: int = ANONYMOUS_LIMIT,
+        enabled: bool = True,
+    ) -> None:
+        self.authenticated_limit = authenticated_limit
+        self.anonymous_limit = anonymous_limit
+        self.enabled = enabled
+        self._used: dict[str, int] = {}
+
+    def _limit_for(self, identity: str) -> int:
+        return self.anonymous_limit if identity == "anonymous" else self.authenticated_limit
+
+    def check(self, identity: str | None) -> QuotaStatus:
+        """Record one request for ``identity`` and return the remaining quota.
+
+        Raises
+        ------
+        RateLimitExceededError
+            When the identity has exhausted its quota.
+        """
+        key = identity or "anonymous"
+        used = self._used.get(key, 0)
+        limit = self._limit_for(key)
+        if self.enabled and used >= limit:
+            raise RateLimitExceededError(
+                f"API rate limit exceeded for {key} ({limit} requests); reset the window first"
+            )
+        self._used[key] = used + 1
+        return QuotaStatus(identity=key, limit=limit, used=used + 1)
+
+    def status(self, identity: str | None) -> QuotaStatus:
+        """Return the quota status without consuming a request."""
+        key = identity or "anonymous"
+        return QuotaStatus(identity=key, limit=self._limit_for(key), used=self._used.get(key, 0))
+
+    def reset(self, identity: str | None = None) -> None:
+        """Reset one identity's counter, or everyone's when ``identity`` is ``None``."""
+        if identity is None:
+            self._used.clear()
+        else:
+            self._used.pop(identity, None)

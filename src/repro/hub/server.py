@@ -1,0 +1,323 @@
+"""The hosting platform: accounts, repositories, permissions, forks, contents.
+
+:class:`HostingPlatform` is the stateful "GitHub" the GitCite components talk
+to.  It hosts :class:`~repro.vcs.repository.Repository` objects, enforces the
+member/non-member distinction the browser extension relies on ("if the user
+is not a project member ... they will not be allowed to use the Add/Delete
+button functionalities", Section 3), and implements the platform-side halves
+of ForkCite (fork) and the local tool's publish step (receive a push).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import (
+    AuthenticationError,
+    NotFoundError,
+    PermissionDeniedError,
+    ValidationError,
+)
+from repro.hub.auth import TokenAuthority
+from repro.hub.models import AccessToken, HostedRepository, Permission, User
+from repro.hub.ratelimit import RateLimiter
+from repro.utils.paths import normalize_path
+from repro.utils.timeutil import now_utc
+from repro.vcs.objects import Signature
+from repro.vcs.remote import clone_repository, fork_repository, push
+from repro.vcs.repository import Repository
+from repro.vcs.treeops import flatten_tree, lookup_path
+
+__all__ = ["HostingPlatform"]
+
+
+class HostingPlatform:
+    """An in-process, multi-user repository hosting service."""
+
+    def __init__(self, url_base: str = "https://github.com", rate_limiter: RateLimiter | None = None) -> None:
+        self.url_base = url_base.rstrip("/")
+        self.users: dict[str, User] = {}
+        self.repositories: dict[str, HostedRepository] = {}
+        self.tokens = TokenAuthority()
+        self.rate_limiter = rate_limiter or RateLimiter()
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    def register_user(self, login: str, name: str | None = None, email: str | None = None) -> User:
+        """Create an account (logins are unique)."""
+        if login in self.users:
+            raise ValidationError(f"login already taken: {login!r}")
+        user = User(login=login, name=name or login, email=email or f"{login}@example.org")
+        self.users[login] = user
+        return user
+
+    def get_user(self, login: str) -> User:
+        try:
+            return self.users[login]
+        except KeyError:
+            raise NotFoundError(f"no such user: {login!r}") from None
+
+    def issue_token(self, login: str, scopes: tuple[str, ...] = ("repo",)) -> AccessToken:
+        """Issue a personal access token for an existing account."""
+        return self.tokens.issue(self.get_user(login), scopes=scopes)
+
+    def _require_user(self, token_value: Optional[str]) -> Optional[User]:
+        token = self.tokens.authenticate(token_value)
+        if token is None:
+            return None
+        return self.get_user(token.login)
+
+    # ------------------------------------------------------------------
+    # Repositories
+    # ------------------------------------------------------------------
+
+    def create_repository(
+        self,
+        owner_login: str,
+        name: str,
+        private: bool = False,
+        description: str = "",
+        default_branch: str = "main",
+    ) -> HostedRepository:
+        """Create an empty hosted repository owned by ``owner_login``."""
+        owner = self.get_user(owner_login)
+        repo = Repository.init(
+            name=name, owner=owner.login, default_branch=default_branch, description=description
+        )
+        return self.host_repository(repo, private=private)
+
+    def host_repository(self, repo: Repository, private: bool = False,
+                        forked_from: Optional[str] = None) -> HostedRepository:
+        """Host an existing repository object under its owner's account."""
+        if repo.owner not in self.users:
+            self.register_user(repo.owner)
+        slug = repo.full_name
+        if slug in self.repositories:
+            raise ValidationError(f"repository already exists: {slug!r}")
+        hosted = HostedRepository(
+            repo=repo, private=private, created_at=now_utc(), forked_from=forked_from
+        )
+        self.repositories[slug] = hosted
+        return hosted
+
+    def get_repository(self, slug: str, token: Optional[str] = None) -> HostedRepository:
+        """Look up ``owner/name``, honouring private-repository visibility."""
+        hosted = self.repositories.get(slug)
+        if hosted is None:
+            raise NotFoundError(f"no such repository: {slug!r}")
+        user = self._require_user(token)
+        if hosted.permission_for(user.login if user else None) == Permission.NONE:
+            # Private repositories are indistinguishable from missing ones.
+            raise NotFoundError(f"no such repository: {slug!r}")
+        return hosted
+
+    def repository_url(self, slug: str) -> str:
+        return f"{self.url_base}/{slug}"
+
+    def list_repositories(self, login: Optional[str] = None) -> list[HostedRepository]:
+        """All repositories, or the ones owned by ``login``."""
+        hosted = sorted(self.repositories.values(), key=lambda h: h.full_name)
+        if login is None:
+            return hosted
+        return [h for h in hosted if h.owner == login]
+
+    def add_collaborator(self, slug: str, login: str, permission: Permission | str,
+                         token: Optional[str] = None) -> None:
+        """Grant a user access to a repository (requires admin)."""
+        hosted = self.get_repository(slug, token=token)
+        if token is not None:
+            self._require_permission(hosted, token, Permission.ADMIN)
+        if isinstance(permission, str):
+            permission = Permission.from_label(permission)
+        self.get_user(login)
+        hosted.collaborators[login] = permission
+
+    def permission_for(self, slug: str, token: Optional[str]) -> Permission:
+        """The effective permission the token's user has on ``slug``."""
+        hosted = self.repositories.get(slug)
+        if hosted is None:
+            raise NotFoundError(f"no such repository: {slug!r}")
+        user = self._require_user(token)
+        return hosted.permission_for(user.login if user else None)
+
+    def _require_permission(self, hosted: HostedRepository, token: Optional[str],
+                            needed: Permission) -> User:
+        user = self._require_user(token)
+        if user is None:
+            raise AuthenticationError("this operation requires authentication")
+        have = hosted.permission_for(user.login)
+        if have < needed:
+            raise PermissionDeniedError(
+                f"{user.login!r} needs {needed.label!r} access to {hosted.full_name!r} "
+                f"but only has {have.label!r}"
+            )
+        return user
+
+    # ------------------------------------------------------------------
+    # Forks, clones and pushes
+    # ------------------------------------------------------------------
+
+    def fork(self, slug: str, token: str, new_name: Optional[str] = None) -> HostedRepository:
+        """Fork a repository into the authenticated user's account.
+
+        This is the platform operation ForkCite rides on: the full history —
+        including every version's ``citation.cite`` — is copied.
+        """
+        hosted = self.get_repository(slug, token=token)
+        user = self._require_permission(hosted, token, Permission.READ)
+        forked = fork_repository(hosted.repo, new_owner=user.login, new_name=new_name)
+        return self.host_repository(forked, private=hosted.private, forked_from=slug)
+
+    def clone(self, slug: str, token: Optional[str] = None) -> Repository:
+        """Return a full local clone (what the local executable tool works on)."""
+        hosted = self.get_repository(slug, token=token)
+        return clone_repository(hosted.repo)
+
+    def receive_push(self, slug: str, token: str, local_repo: Repository,
+                     branch: Optional[str] = None, force: bool = False) -> str:
+        """Accept a push from a local clone (requires write access)."""
+        hosted = self.get_repository(slug, token=token)
+        self._require_permission(hosted, token, Permission.WRITE)
+        return push(local_repo, hosted.repo, branch=branch, force=force)
+
+    # ------------------------------------------------------------------
+    # Contents API (what the browser extension uses)
+    # ------------------------------------------------------------------
+
+    def get_file(self, slug: str, path: str, ref: Optional[str] = None,
+                 token: Optional[str] = None) -> bytes:
+        """Read a file from a repository version (read access required)."""
+        hosted = self.get_repository(slug, token=token)
+        repo = hosted.repo
+        resolved_ref = ref or hosted.default_branch
+        try:
+            return repo.read_file_at(resolved_ref, path)
+        except Exception as exc:
+            raise NotFoundError(f"{slug}@{resolved_ref} has no file {path!r}") from exc
+
+    def path_exists(self, slug: str, path: str, ref: Optional[str] = None,
+                    token: Optional[str] = None) -> bool:
+        hosted = self.get_repository(slug, token=token)
+        resolved_ref = ref or hosted.default_branch
+        try:
+            return hosted.repo.path_exists_at(resolved_ref, path)
+        except Exception:
+            return False
+
+    def list_tree(self, slug: str, ref: Optional[str] = None, token: Optional[str] = None) -> list[dict]:
+        """List every path of a repository version (files and directories)."""
+        hosted = self.get_repository(slug, token=token)
+        repo = hosted.repo
+        resolved_ref = ref or hosted.default_branch
+        tree_oid = repo.tree_oid_of(resolved_ref)
+        listing = []
+        for path, (oid, mode) in sorted(flatten_tree(repo.store, tree_oid).items()):
+            if path == "/":
+                continue
+            listing.append(
+                {"path": path, "type": "tree" if mode == "040000" else "blob", "sha": oid}
+            )
+        return listing
+
+    def put_file(
+        self,
+        slug: str,
+        path: str,
+        content: bytes | str,
+        message: str,
+        token: str,
+        branch: Optional[str] = None,
+        author_name: Optional[str] = None,
+        timestamp: Optional[datetime] = None,
+    ) -> str:
+        """Create or update a file on a branch and commit (write access required).
+
+        This is the endpoint the browser extension uses to "directly modify
+        the citation file on the remote repository".
+        """
+        hosted = self.get_repository(slug, token=token)
+        user = self._require_permission(hosted, token, Permission.WRITE)
+        repo = hosted.repo
+        target_branch = branch or hosted.default_branch
+        original_branch = repo.current_branch
+        if not repo.refs.has_branch(target_branch):
+            raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+        if original_branch != target_branch:
+            repo.checkout(target_branch)
+        try:
+            repo.write_file(path, content)
+            commit_oid = repo.commit(
+                message,
+                author_name=author_name or user.name,
+                timestamp=timestamp,
+            )
+        finally:
+            if original_branch is not None and original_branch != target_branch:
+                repo.checkout(original_branch)
+        return commit_oid
+
+    def delete_file(
+        self,
+        slug: str,
+        path: str,
+        message: str,
+        token: str,
+        branch: Optional[str] = None,
+        author_name: Optional[str] = None,
+        timestamp: Optional[datetime] = None,
+    ) -> str:
+        """Delete a file on a branch and commit (write access required)."""
+        hosted = self.get_repository(slug, token=token)
+        user = self._require_permission(hosted, token, Permission.WRITE)
+        repo = hosted.repo
+        target_branch = branch or hosted.default_branch
+        original_branch = repo.current_branch
+        if not repo.refs.has_branch(target_branch):
+            raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+        if original_branch != target_branch:
+            repo.checkout(target_branch)
+        try:
+            canonical = normalize_path(path)
+            if not repo.file_exists(canonical):
+                raise NotFoundError(f"{slug}@{target_branch} has no file {path!r}")
+            repo.remove_file(canonical)
+            commit_oid = repo.commit(
+                message,
+                author_name=author_name or user.name,
+                timestamp=timestamp,
+            )
+        finally:
+            if original_branch is not None and original_branch != target_branch:
+                repo.checkout(original_branch)
+        return commit_oid
+
+    # ------------------------------------------------------------------
+    # History metadata (used when building citations for remote versions)
+    # ------------------------------------------------------------------
+
+    def branches(self, slug: str, token: Optional[str] = None) -> dict[str, str]:
+        hosted = self.get_repository(slug, token=token)
+        return hosted.repo.branches()
+
+    def commits(self, slug: str, ref: Optional[str] = None, token: Optional[str] = None,
+                limit: Optional[int] = None) -> list[dict]:
+        """GitHub-style commit listing for a ref."""
+        hosted = self.get_repository(slug, token=token)
+        resolved_ref = ref or hosted.default_branch
+        history = hosted.repo.log(resolved_ref, limit=limit)
+        return [
+            {
+                "sha": info.oid,
+                "commit": {
+                    "message": info.commit.message,
+                    "author": {
+                        "name": info.commit.author.name,
+                        "date": info.commit.author.timestamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
+                    },
+                },
+            }
+            for info in history
+        ]

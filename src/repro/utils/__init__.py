@@ -1,0 +1,43 @@
+"""Shared low-level utilities: hashing, path handling, timestamps and JSON.
+
+These helpers are deliberately free of dependencies on the higher layers so
+that every subsystem (VCS, hub, citation model, formats, archive) can rely on
+exactly the same notion of "a repository path", "an object id" and "a
+timestamp".
+"""
+
+from repro.utils.hashing import sha1_hex, object_id
+from repro.utils.jsonutil import canonical_dumps, stable_loads
+from repro.utils.paths import (
+    RepoPath,
+    ancestors,
+    is_ancestor,
+    is_dir_key,
+    join_path,
+    normalize_path,
+    path_depth,
+    relative_to,
+    rewrite_prefix,
+    split_path,
+)
+from repro.utils.timeutil import format_timestamp, now_utc, parse_timestamp
+
+__all__ = [
+    "sha1_hex",
+    "object_id",
+    "canonical_dumps",
+    "stable_loads",
+    "RepoPath",
+    "ancestors",
+    "is_ancestor",
+    "is_dir_key",
+    "join_path",
+    "normalize_path",
+    "path_depth",
+    "relative_to",
+    "rewrite_prefix",
+    "split_path",
+    "format_timestamp",
+    "now_utc",
+    "parse_timestamp",
+]

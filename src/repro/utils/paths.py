@@ -1,0 +1,295 @@
+"""Repository path handling shared by the VCS and the citation model.
+
+The citation model of the paper keys the ``citation.cite`` file by the
+*relative path* of the cited file or directory (Listing 1 uses ``"/"`` for the
+project root and keys such as ``".../CoreCover/"`` and ``".../citation/GUI/"``
+for directories).  The version-control substrate, in contrast, stores tree
+entries under plain relative segments such as ``"citation/GUI/app.py"``.
+
+To keep every layer in agreement this module defines a single canonical form:
+
+* a canonical repository path always starts with ``"/"``;
+* the project root is exactly ``"/"``;
+* no other path has a trailing slash;
+* components are separated by single ``"/"`` characters, with ``"."`` and
+  empty components removed;
+* ``".."`` components are rejected (a citation key must stay inside the
+  repository).
+
+Inputs may be written in any of the looser forms that appear in the paper and
+in user-facing tools (``"a/b"``, ``"/a/b/"``, ``"./a/b"``, ``".../a/b/"``) —
+:func:`normalize_path` maps all of them to the canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidPathError
+
+__all__ = [
+    "ROOT",
+    "RepoPath",
+    "ancestors",
+    "is_ancestor",
+    "is_dir_key",
+    "join_path",
+    "normalize_path",
+    "path_basename",
+    "path_depth",
+    "path_parent",
+    "relative_to",
+    "rewrite_prefix",
+    "split_path",
+    "to_citation_key",
+]
+
+#: Canonical path of the project root.
+ROOT = "/"
+
+
+def normalize_path(path: str) -> str:
+    """Return the canonical form of a repository path.
+
+    Examples
+    --------
+    >>> normalize_path("/")
+    '/'
+    >>> normalize_path("a/b/")
+    '/a/b'
+    >>> normalize_path(".../CoreCover/")
+    '/CoreCover'
+    >>> normalize_path("./citation/GUI")
+    '/citation/GUI'
+    """
+    if not isinstance(path, str):
+        raise InvalidPathError(f"path must be a string, got {type(path).__name__}")
+    candidate = path.strip()
+    if candidate in ("", "/", ".", "./"):
+        return ROOT
+    # The paper's Listing 1 prefixes nested keys with "..." (an ellipsis used
+    # for display); treat a leading run of dots before a slash as the root.
+    while candidate.startswith("..."):
+        candidate = candidate[3:]
+    parts: list[str] = []
+    for raw in candidate.split("/"):
+        component = raw.strip()
+        if component in ("", "."):
+            continue
+        if component == "..":
+            raise InvalidPathError(f"path escapes the repository root: {path!r}")
+        if "\\" in component or "\0" in component:
+            raise InvalidPathError(f"path contains illegal characters: {path!r}")
+        parts.append(component)
+    if not parts:
+        return ROOT
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> tuple[str, ...]:
+    """Split a canonical path into its components (the root splits to ``()``)."""
+    canonical = normalize_path(path)
+    if canonical == ROOT:
+        return ()
+    return tuple(canonical[1:].split("/"))
+
+
+def join_path(base: str, *segments: str) -> str:
+    """Join ``segments`` under ``base`` and return a canonical path."""
+    parts = list(split_path(base))
+    for segment in segments:
+        parts.extend(split_path("/" + segment))
+    if not parts:
+        return ROOT
+    return "/" + "/".join(parts)
+
+
+def path_parent(path: str) -> str:
+    """Return the canonical parent of ``path`` (the root is its own parent)."""
+    parts = split_path(path)
+    if not parts:
+        return ROOT
+    if len(parts) == 1:
+        return ROOT
+    return "/" + "/".join(parts[:-1])
+
+
+def path_basename(path: str) -> str:
+    """Return the final component of ``path`` (``""`` for the root)."""
+    parts = split_path(path)
+    return parts[-1] if parts else ""
+
+
+def path_depth(path: str) -> int:
+    """Return the number of components below the root (root has depth 0)."""
+    return len(split_path(path))
+
+
+def ancestors(path: str, include_self: bool = False) -> list[str]:
+    """Return the ancestors of ``path`` ordered from closest to the root.
+
+    This ordering is exactly the search order of the paper's citation
+    resolution rule: ``Cite(V,P)(n)`` is the citation of the *closest*
+    ancestor of ``n`` that carries an explicit citation.
+
+    >>> ancestors("/a/b/c")
+    ['/a/b', '/a', '/']
+    >>> ancestors("/a", include_self=True)
+    ['/a', '/']
+    """
+    parts = split_path(path)
+    chain: list[str] = []
+    if include_self:
+        chain.append(normalize_path(path))
+    for cut in range(len(parts) - 1, 0, -1):
+        chain.append("/" + "/".join(parts[:cut]))
+    if parts or include_self:
+        if ROOT not in chain:
+            chain.append(ROOT)
+    else:
+        chain.append(ROOT)
+    # Deduplicate while preserving order (include_self on the root would
+    # otherwise repeat "/").
+    seen: set[str] = set()
+    ordered: list[str] = []
+    for item in chain:
+        if item not in seen:
+            seen.add(item)
+            ordered.append(item)
+    return ordered
+
+
+def is_ancestor(ancestor: str, descendant: str, strict: bool = True) -> bool:
+    """Return whether ``ancestor`` is an ancestor of ``descendant``.
+
+    With ``strict=False`` a path counts as its own ancestor.
+    """
+    anc = split_path(ancestor)
+    desc = split_path(descendant)
+    if len(anc) > len(desc):
+        return False
+    if strict and len(anc) == len(desc):
+        return False
+    return tuple(desc[: len(anc)]) == anc
+
+
+def relative_to(path: str, base: str) -> str:
+    """Return ``path`` relative to ``base`` as a slash-joined segment string.
+
+    >>> relative_to("/a/b/c", "/a")
+    'b/c'
+    >>> relative_to("/a", "/a")
+    ''
+    """
+    path_parts = split_path(path)
+    base_parts = split_path(base)
+    if tuple(path_parts[: len(base_parts)]) != base_parts:
+        raise InvalidPathError(f"{path!r} is not below {base!r}")
+    return "/".join(path_parts[len(base_parts):])
+
+
+def rewrite_prefix(path: str, old_prefix: str, new_prefix: str) -> str:
+    """Re-root ``path`` from ``old_prefix`` to ``new_prefix``.
+
+    Used by CopyCite: when a subtree rooted at ``old_prefix`` in the source
+    repository is copied to ``new_prefix`` in the destination repository, every
+    citation key below ``old_prefix`` must be rewritten so the migrated
+    citation function remains correct (Section 3 of the paper).
+    """
+    remainder = relative_to(path, old_prefix)
+    if not remainder:
+        return normalize_path(new_prefix)
+    return join_path(new_prefix, remainder)
+
+
+def is_dir_key(key: str) -> bool:
+    """Return whether a raw ``citation.cite`` key denotes a directory.
+
+    In the on-disk format directories carry a trailing slash (and the root is
+    ``"/"``); plain file keys do not.
+    """
+    return key.strip().endswith("/")
+
+
+def to_citation_key(path: str, is_directory: bool) -> str:
+    """Render a canonical path as a ``citation.cite`` key.
+
+    The root is written ``"/"``; other directories gain a trailing slash,
+    mirroring Listing 1 of the paper.
+    """
+    canonical = normalize_path(path)
+    if canonical == ROOT:
+        return ROOT
+    return canonical + "/" if is_directory else canonical
+
+
+@dataclass(frozen=True, order=True)
+class RepoPath:
+    """A small value object wrapping a canonical repository path.
+
+    Most APIs accept plain strings and normalise internally; ``RepoPath`` is a
+    convenience for code that wants path algebra with attribute access (the
+    workload generators and some tests use it).
+    """
+
+    value: str
+
+    def __init__(self, path: str | "RepoPath") -> None:
+        raw = path.value if isinstance(path, RepoPath) else path
+        object.__setattr__(self, "value", normalize_path(raw))
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return split_path(self.value)
+
+    @property
+    def parent(self) -> "RepoPath":
+        return RepoPath(path_parent(self.value))
+
+    @property
+    def name(self) -> str:
+        return path_basename(self.value)
+
+    @property
+    def depth(self) -> int:
+        return path_depth(self.value)
+
+    def joinpath(self, *segments: str) -> "RepoPath":
+        return RepoPath(join_path(self.value, *segments))
+
+    def ancestors(self, include_self: bool = False) -> Iterator["RepoPath"]:
+        for ancestor in ancestors(self.value, include_self=include_self):
+            yield RepoPath(ancestor)
+
+    def is_ancestor_of(self, other: "RepoPath | str", strict: bool = True) -> bool:
+        other_value = other.value if isinstance(other, RepoPath) else other
+        return is_ancestor(self.value, other_value, strict=strict)
+
+    def relative_to(self, base: "RepoPath | str") -> str:
+        base_value = base.value if isinstance(base, RepoPath) else base
+        return relative_to(self.value, base_value)
+
+
+def common_prefix(paths: Iterable[str]) -> str:
+    """Return the deepest common ancestor of ``paths`` (the root if none)."""
+    iterator = iter(paths)
+    try:
+        first = split_path(next(iterator))
+    except StopIteration:
+        return ROOT
+    prefix = list(first)
+    for path in iterator:
+        parts = split_path(path)
+        new_prefix: list[str] = []
+        for a, b in zip(prefix, parts):
+            if a != b:
+                break
+            new_prefix.append(a)
+        prefix = new_prefix
+        if not prefix:
+            return ROOT
+    return "/" + "/".join(prefix) if prefix else ROOT

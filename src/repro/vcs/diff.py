@@ -1,0 +1,237 @@
+"""Tree diffs with rename detection.
+
+The citation model needs to know, between two versions, which files were
+added, deleted, modified or *renamed/moved*: the paper requires that "if a
+file or directory in the active domain of the citation function is moved or
+renamed then the citation function must be modified to reflect the file or
+directory's path in the new version".  Rename detection therefore feeds
+directly into :mod:`repro.citation.rename`.
+
+Renames are detected in two passes, mirroring Git's heuristic:
+
+1. exact matches — a deleted path and an added path whose blobs have the same
+   object id;
+2. similarity matches — remaining deleted/added pairs of text blobs whose
+   line-based similarity ratio is at least ``similarity_threshold``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.treeops import flatten_files
+
+__all__ = ["DiffEntry", "TreeDiff", "diff_trees", "blob_similarity"]
+
+STATUS_ADDED = "added"
+STATUS_DELETED = "deleted"
+STATUS_MODIFIED = "modified"
+STATUS_RENAMED = "renamed"
+
+#: Default similarity ratio above which a delete/add pair counts as a rename.
+DEFAULT_SIMILARITY_THRESHOLD = 0.6
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One changed path between two versions."""
+
+    status: str
+    old_path: str | None
+    new_path: str | None
+    old_oid: str | None
+    new_oid: str | None
+    similarity: float | None = None
+
+    @property
+    def path(self) -> str:
+        """The most relevant path for display (new path when available)."""
+        return self.new_path if self.new_path is not None else (self.old_path or "")
+
+
+@dataclass
+class TreeDiff:
+    """The set of changes between an old tree and a new tree."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def added(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == STATUS_ADDED]
+
+    @property
+    def deleted(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == STATUS_DELETED]
+
+    @property
+    def modified(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == STATUS_MODIFIED]
+
+    @property
+    def renamed(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.status == STATUS_RENAMED]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def renames(self) -> dict[str, str]:
+        """Return a ``{old path: new path}`` map for all detected renames."""
+        return {e.old_path: e.new_path for e in self.renamed if e.old_path and e.new_path}
+
+    def deleted_paths(self) -> list[str]:
+        return sorted(e.old_path for e in self.deleted if e.old_path)
+
+    def added_paths(self) -> list[str]:
+        return sorted(e.new_path for e in self.added if e.new_path)
+
+    def summary(self) -> str:
+        """A one-line human-readable summary (used by the CLI)."""
+        return (
+            f"{len(self.added)} added, {len(self.deleted)} deleted, "
+            f"{len(self.modified)} modified, {len(self.renamed)} renamed"
+        )
+
+
+def blob_similarity(store: ObjectStore, oid_a: str, oid_b: str) -> float:
+    """Return a similarity ratio in [0, 1] between two blobs.
+
+    Binary blobs only match exactly (1.0 when equal, 0.0 otherwise); text
+    blobs use :class:`difflib.SequenceMatcher` over their lines.
+    """
+    if oid_a == oid_b:
+        return 1.0
+    blob_a = store.get_blob(oid_a)
+    blob_b = store.get_blob(oid_b)
+    if blob_a.is_binary or blob_b.is_binary:
+        return 1.0 if blob_a.data == blob_b.data else 0.0
+    lines_a = blob_a.text().splitlines()
+    lines_b = blob_b.text().splitlines()
+    if not lines_a and not lines_b:
+        return 1.0
+    return difflib.SequenceMatcher(a=lines_a, b=lines_b, autojunk=False).ratio()
+
+
+def diff_trees(
+    store: ObjectStore,
+    old_tree_oid: str | None,
+    new_tree_oid: str | None,
+    detect_renames: bool = True,
+    similarity_threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+) -> TreeDiff:
+    """Diff the file sets of two trees.
+
+    Either tree id may be ``None`` (meaning "the empty tree"), which is how
+    the first commit of a repository is diffed.
+    """
+    old_files = flatten_files(store, old_tree_oid) if old_tree_oid else {}
+    new_files = flatten_files(store, new_tree_oid) if new_tree_oid else {}
+
+    added: dict[str, tuple[str, str]] = {
+        path: entry for path, entry in new_files.items() if path not in old_files
+    }
+    deleted: dict[str, tuple[str, str]] = {
+        path: entry for path, entry in old_files.items() if path not in new_files
+    }
+    entries: list[DiffEntry] = []
+
+    for path in sorted(set(old_files) & set(new_files)):
+        old_oid, _ = old_files[path]
+        new_oid, _ = new_files[path]
+        if old_oid != new_oid:
+            entries.append(
+                DiffEntry(
+                    status=STATUS_MODIFIED,
+                    old_path=path,
+                    new_path=path,
+                    old_oid=old_oid,
+                    new_oid=new_oid,
+                )
+            )
+
+    if detect_renames and added and deleted:
+        rename_entries, added, deleted = _detect_renames(
+            store, added, deleted, similarity_threshold
+        )
+        entries.extend(rename_entries)
+
+    for path in sorted(deleted):
+        oid, _ = deleted[path]
+        entries.append(
+            DiffEntry(status=STATUS_DELETED, old_path=path, new_path=None, old_oid=oid, new_oid=None)
+        )
+    for path in sorted(added):
+        oid, _ = added[path]
+        entries.append(
+            DiffEntry(status=STATUS_ADDED, old_path=None, new_path=path, old_oid=None, new_oid=oid)
+        )
+
+    entries.sort(key=lambda e: (e.path, e.status))
+    return TreeDiff(entries=entries)
+
+
+def _detect_renames(
+    store: ObjectStore,
+    added: dict[str, tuple[str, str]],
+    deleted: dict[str, tuple[str, str]],
+    similarity_threshold: float,
+) -> tuple[list[DiffEntry], dict[str, tuple[str, str]], dict[str, tuple[str, str]]]:
+    """Pair deleted paths with added paths that carry the same (or similar) content."""
+    renames: list[DiffEntry] = []
+    remaining_added = dict(added)
+    remaining_deleted = dict(deleted)
+
+    # Pass 1: exact content matches, preferring pairs with the same basename.
+    added_by_oid: dict[str, list[str]] = {}
+    for path, (oid, _) in sorted(remaining_added.items()):
+        added_by_oid.setdefault(oid, []).append(path)
+    for old_path in sorted(remaining_deleted):
+        old_oid, _ = remaining_deleted[old_path]
+        candidates = added_by_oid.get(old_oid, [])
+        if not candidates:
+            continue
+        basename = old_path.rsplit("/", 1)[-1]
+        same_name = [c for c in candidates if c.rsplit("/", 1)[-1] == basename]
+        new_path = (same_name or candidates)[0]
+        candidates.remove(new_path)
+        renames.append(
+            DiffEntry(
+                status=STATUS_RENAMED,
+                old_path=old_path,
+                new_path=new_path,
+                old_oid=old_oid,
+                new_oid=remaining_added[new_path][0],
+                similarity=1.0,
+            )
+        )
+        del remaining_deleted[old_path]
+        del remaining_added[new_path]
+
+    # Pass 2: similarity matches among the leftovers (greedy best-first).
+    scored: list[tuple[float, str, str]] = []
+    for old_path, (old_oid, _) in remaining_deleted.items():
+        for new_path, (new_oid, _) in remaining_added.items():
+            ratio = blob_similarity(store, old_oid, new_oid)
+            if ratio >= similarity_threshold:
+                scored.append((ratio, old_path, new_path))
+    scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+    for ratio, old_path, new_path in scored:
+        if old_path not in remaining_deleted or new_path not in remaining_added:
+            continue
+        renames.append(
+            DiffEntry(
+                status=STATUS_RENAMED,
+                old_path=old_path,
+                new_path=new_path,
+                old_oid=remaining_deleted[old_path][0],
+                new_oid=remaining_added[new_path][0],
+                similarity=round(ratio, 4),
+            )
+        )
+        del remaining_deleted[old_path]
+        del remaining_added[new_path]
+
+    return renames, remaining_added, remaining_deleted

@@ -1,0 +1,74 @@
+"""Ignore patterns for working-tree imports.
+
+When the command-line tool reads a directory from disk into a repository it
+skips paths matched by an ignore list (the substrate's equivalent of
+``.gitignore``).  Patterns follow :mod:`fnmatch` semantics and are matched
+against each path component as well as the full repository-relative path;
+patterns ending in ``/`` only match directories.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Iterable
+
+from repro.utils.paths import normalize_path, split_path
+
+__all__ = ["IgnoreRules", "DEFAULT_IGNORES"]
+
+#: Patterns ignored by default when importing a directory from disk.
+DEFAULT_IGNORES = (
+    ".git/",
+    ".gitcite/",
+    "__pycache__/",
+    "*.pyc",
+    ".DS_Store",
+)
+
+
+class IgnoreRules:
+    """A compiled set of ignore patterns."""
+
+    def __init__(self, patterns: Iterable[str] = DEFAULT_IGNORES) -> None:
+        self._directory_patterns: list[str] = []
+        self._file_patterns: list[str] = []
+        for pattern in patterns:
+            pattern = pattern.strip()
+            if not pattern or pattern.startswith("#"):
+                continue
+            if pattern.endswith("/"):
+                self._directory_patterns.append(pattern.rstrip("/"))
+            else:
+                self._file_patterns.append(pattern)
+
+    @classmethod
+    def from_text(cls, text: str, include_defaults: bool = True) -> "IgnoreRules":
+        """Parse a ``.citeignore``-style text block."""
+        patterns = list(DEFAULT_IGNORES) if include_defaults else []
+        patterns.extend(line for line in text.splitlines())
+        return cls(patterns)
+
+    def matches(self, path: str, is_directory: bool = False) -> bool:
+        """Return whether ``path`` should be ignored."""
+        canonical = normalize_path(path)
+        parts = split_path(canonical)
+        if not parts:
+            return False
+        # A file is ignored if any ancestor directory matches a directory pattern.
+        for depth, component in enumerate(parts):
+            component_is_dir = is_directory or depth < len(parts) - 1
+            if component_is_dir and any(
+                fnmatch.fnmatch(component, pattern) for pattern in self._directory_patterns
+            ):
+                return True
+        target = parts[-1]
+        if is_directory:
+            return any(fnmatch.fnmatch(target, pattern) for pattern in self._directory_patterns)
+        if any(fnmatch.fnmatch(target, pattern) for pattern in self._file_patterns):
+            return True
+        relative = canonical[1:]
+        return any(fnmatch.fnmatch(relative, pattern) for pattern in self._file_patterns)
+
+    def filter_paths(self, paths: Iterable[str]) -> list[str]:
+        """Return the subset of ``paths`` that is *not* ignored (sorted)."""
+        return sorted(p for p in paths if not self.matches(p))

@@ -1,0 +1,98 @@
+"""The staging index.
+
+The index is the flat set of ``path → (blob id, mode)`` entries that the next
+commit will snapshot.  ``Repository.add`` copies working-tree content into
+blobs and records them here; ``Repository.commit`` turns the index into nested
+tree objects via :func:`repro.vcs.treeops.build_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import IndexError_
+from repro.utils.paths import is_ancestor, normalize_path
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE
+from repro.vcs.treeops import build_tree, flatten_files
+
+__all__ = ["StagingIndex"]
+
+
+class StagingIndex:
+    """A flat map of staged file entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[str, str]] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def stage(self, path: str, blob_oid: str, mode: str = MODE_FILE) -> None:
+        """Stage a file at ``path`` pointing at ``blob_oid``."""
+        canonical = normalize_path(path)
+        if canonical == "/":
+            raise IndexError_("cannot stage the repository root as a file")
+        if mode == MODE_DIRECTORY:
+            raise IndexError_("directories are created implicitly; stage files only")
+        for existing in self._entries:
+            if is_ancestor(canonical, existing) or is_ancestor(existing, canonical):
+                raise IndexError_(
+                    f"staging {canonical!r} conflicts with already-staged path {existing!r}"
+                )
+        self._entries[canonical] = (blob_oid, mode)
+
+    def unstage(self, path: str) -> None:
+        """Remove a staged entry (missing paths are an error)."""
+        canonical = normalize_path(path)
+        if canonical not in self._entries:
+            raise IndexError_(f"path is not staged: {canonical!r}")
+        del self._entries[canonical]
+
+    def discard(self, path: str) -> None:
+        """Remove a staged entry if present (no error when absent)."""
+        self._entries.pop(normalize_path(path), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def replace(self, entries: Mapping[str, tuple[str, str]]) -> None:
+        """Replace the whole index content (used when reading a commit's tree)."""
+        self._entries = {normalize_path(path): value for path, value in entries.items()}
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, path: str) -> bool:
+        return normalize_path(path) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def get(self, path: str) -> tuple[str, str] | None:
+        return self._entries.get(normalize_path(path))
+
+    def entries(self) -> dict[str, tuple[str, str]]:
+        """A copy of the staged ``path → (blob id, mode)`` map."""
+        return dict(self._entries)
+
+    def paths(self) -> list[str]:
+        return sorted(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    # -- conversion --------------------------------------------------------
+
+    def write_tree(self, store: ObjectStore) -> str:
+        """Materialise the staged entries as nested tree objects.
+
+        Returns the root tree id (an empty index yields the empty tree).
+        """
+        return build_tree(store, self._entries)
+
+    def read_tree(self, store: ObjectStore, tree_oid: str) -> None:
+        """Reset the index to the file entries of an existing tree."""
+        self.replace(flatten_files(store, tree_oid))

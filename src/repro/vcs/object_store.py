@@ -1,0 +1,148 @@
+"""A content-addressable object store.
+
+Objects (blobs, trees, commits, tags) are stored by their id, which is a
+deterministic function of their content.  Storing the same object twice is a
+no-op, and two repositories that contain the same files share object ids —
+which is what makes clone/fork/push cheap (only missing objects move) and
+what lets the Software Heritage identifier simulator compute intrinsic ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidObjectError, ObjectNotFoundError
+from repro.vcs.objects import Blob, Commit, Tag, Tree, VCSObject, deserialize_object
+
+__all__ = ["ObjectStore"]
+
+
+class ObjectStore:
+    """An in-memory map from object id to (type, payload)."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, tuple[str, bytes]] = {}
+
+    # -- writing -----------------------------------------------------------
+
+    def put(self, obj: VCSObject) -> str:
+        """Store ``obj`` and return its id (idempotent)."""
+        oid = obj.oid
+        if oid not in self._objects:
+            self._objects[oid] = (obj.type_name, obj.serialize())
+        return oid
+
+    def put_many(self, objects: Iterable[VCSObject]) -> list[str]:
+        """Store several objects, returning their ids in order."""
+        return [self.put(obj) for obj in objects]
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, oid: str) -> VCSObject:
+        """Return the object with id ``oid``.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If no object with that id is stored.
+        """
+        try:
+            object_type, payload = self._objects[oid]
+        except KeyError:
+            raise ObjectNotFoundError(oid) from None
+        return deserialize_object(object_type, payload)
+
+    def get_type(self, oid: str) -> str:
+        """Return the type name of a stored object without deserialising it."""
+        try:
+            return self._objects[oid][0]
+        except KeyError:
+            raise ObjectNotFoundError(oid) from None
+
+    def get_blob(self, oid: str) -> Blob:
+        return self._typed(oid, Blob)
+
+    def get_tree(self, oid: str) -> Tree:
+        return self._typed(oid, Tree)
+
+    def get_commit(self, oid: str) -> Commit:
+        return self._typed(oid, Commit)
+
+    def get_tag(self, oid: str) -> Tag:
+        return self._typed(oid, Tag)
+
+    def _typed(self, oid: str, cls: type) -> VCSObject:
+        obj = self.get(oid)
+        if not isinstance(obj, cls):
+            raise InvalidObjectError(
+                f"object {oid} has type {obj.type_name}, expected {cls.type_name}"
+            )
+        return obj
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._objects)
+
+    def object_ids(self) -> list[str]:
+        """Return all stored object ids (unordered semantics, sorted output)."""
+        return sorted(self._objects)
+
+    def resolve_prefix(self, prefix: str) -> str:
+        """Expand an abbreviated object id to the unique full id.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If no stored id starts with ``prefix``.
+        InvalidObjectError
+            If the prefix is ambiguous.
+        """
+        if len(prefix) < 4:
+            raise InvalidObjectError("object id prefixes must have at least 4 characters")
+        matches = [oid for oid in self._objects if oid.startswith(prefix)]
+        if not matches:
+            raise ObjectNotFoundError(prefix)
+        if len(matches) > 1:
+            raise InvalidObjectError(f"ambiguous object id prefix {prefix!r} ({len(matches)} matches)")
+        return matches[0]
+
+    def total_size(self) -> int:
+        """Return the total number of payload bytes stored (for benchmarks)."""
+        return sum(len(payload) for _, payload in self._objects.values())
+
+    # -- transfer ----------------------------------------------------------
+
+    def missing_from(self, other: "ObjectStore") -> list[str]:
+        """Return ids present here but absent from ``other`` (push planning)."""
+        return sorted(oid for oid in self._objects if oid not in other)
+
+    def copy_objects_to(self, other: "ObjectStore", oids: Iterable[str] | None = None) -> int:
+        """Copy raw objects into ``other``; returns the number copied.
+
+        When ``oids`` is ``None`` every object is considered; objects already
+        present in ``other`` are skipped.
+        """
+        copied = 0
+        candidates = self._objects.keys() if oids is None else oids
+        for oid in candidates:
+            if oid in other._objects:
+                continue
+            try:
+                other._objects[oid] = self._objects[oid]
+            except KeyError:
+                raise ObjectNotFoundError(oid) from None
+            copied += 1
+        return copied
+
+    def clone(self) -> "ObjectStore":
+        """Return an independent copy of this store."""
+        duplicate = ObjectStore()
+        duplicate._objects = dict(self._objects)
+        return duplicate

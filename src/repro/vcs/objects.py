@@ -1,0 +1,316 @@
+"""The immutable object model of the version-control substrate.
+
+Four object kinds exist, mirroring Git:
+
+* :class:`Blob` — raw file content;
+* :class:`Tree` — a directory: an ordered list of named entries pointing to
+  blobs (files) or other trees (subdirectories);
+* :class:`Commit` — a snapshot: a tree id, zero or more parent commit ids, an
+  author, a committer and a message;
+* :class:`Tag` — an annotated, named pointer to another object.
+
+Each object serialises to a deterministic byte payload; its id is the SHA-1 of
+``"<type> <size>\\0" + payload`` (see :mod:`repro.utils.hashing`).  Blob ids
+are byte-compatible with Git; tree and commit payloads use a simpler textual
+encoding (we never need to interoperate with a real Git on disk, only to keep
+the same semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Union
+
+from repro.errors import InvalidObjectError
+from repro.utils.hashing import object_id
+from repro.utils.timeutil import format_timestamp, parse_timestamp
+
+__all__ = [
+    "Blob",
+    "Tree",
+    "TreeEntry",
+    "Commit",
+    "Tag",
+    "Signature",
+    "VCSObject",
+    "MODE_FILE",
+    "MODE_EXECUTABLE",
+    "MODE_DIRECTORY",
+]
+
+#: Entry modes.  The numeric values follow Git's convention so that dumps of
+#: tree objects read familiarly, but only the file/directory distinction is
+#: semantically meaningful to the citation model.
+MODE_FILE = "100644"
+MODE_EXECUTABLE = "100755"
+MODE_DIRECTORY = "040000"
+
+_VALID_MODES = {MODE_FILE, MODE_EXECUTABLE, MODE_DIRECTORY}
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An author or committer identity with a timestamp."""
+
+    name: str
+    email: str
+    timestamp: datetime
+
+    def serialize(self) -> str:
+        return f"{self.name} <{self.email}> {format_timestamp(self.timestamp)}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Signature":
+        try:
+            name_part, rest = text.split(" <", 1)
+            email, stamp = rest.split("> ", 1)
+        except ValueError as exc:
+            raise InvalidObjectError(f"malformed signature: {text!r}") from exc
+        return cls(name=name_part, email=email, timestamp=parse_timestamp(stamp))
+
+
+@dataclass(frozen=True)
+class Blob:
+    """Raw file content."""
+
+    data: bytes
+
+    type_name = "blob"
+
+    def serialize(self) -> bytes:
+        return self.data
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "Blob":
+        return cls(data=payload)
+
+    @property
+    def oid(self) -> str:
+        return object_id(self.type_name, self.serialize())
+
+    def text(self, encoding: str = "utf-8") -> str:
+        """Decode the blob as text (convenience for citation-file handling)."""
+        return self.data.decode(encoding)
+
+    @property
+    def is_binary(self) -> bool:
+        """Heuristic binary detection (NUL byte within the first 8000 bytes)."""
+        return b"\0" in self.data[:8000]
+
+
+@dataclass(frozen=True, order=True)
+class TreeEntry:
+    """A single named entry inside a :class:`Tree`."""
+
+    name: str
+    oid: str
+    mode: str = MODE_FILE
+
+    def __post_init__(self) -> None:
+        if "/" in self.name or self.name in ("", ".", ".."):
+            raise InvalidObjectError(f"illegal tree entry name: {self.name!r}")
+        if self.mode not in _VALID_MODES:
+            raise InvalidObjectError(f"illegal tree entry mode: {self.mode!r}")
+
+    @property
+    def is_directory(self) -> bool:
+        return self.mode == MODE_DIRECTORY
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A directory object: a sorted tuple of :class:`TreeEntry`."""
+
+    entries: tuple[TreeEntry, ...] = ()
+
+    type_name = "tree"
+
+    def __post_init__(self) -> None:
+        names = [entry.name for entry in self.entries]
+        if len(names) != len(set(names)):
+            raise InvalidObjectError("tree contains duplicate entry names")
+        ordered = tuple(sorted(self.entries, key=lambda entry: entry.name))
+        object.__setattr__(self, "entries", ordered)
+
+    def serialize(self) -> bytes:
+        lines = [f"{entry.mode} {entry.oid} {entry.name}" for entry in self.entries]
+        return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "Tree":
+        entries: list[TreeEntry] = []
+        for line in payload.decode("utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                mode, oid, name = line.split(" ", 2)
+            except ValueError as exc:
+                raise InvalidObjectError(f"malformed tree entry line: {line!r}") from exc
+            entries.append(TreeEntry(name=name, oid=oid, mode=mode))
+        return cls(entries=tuple(entries))
+
+    @property
+    def oid(self) -> str:
+        return object_id(self.type_name, self.serialize())
+
+    def entry(self, name: str) -> TreeEntry | None:
+        """Look up a direct child by name (``None`` if absent)."""
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(entry.name for entry in self.entries)
+
+    def with_entry(self, entry: TreeEntry) -> "Tree":
+        """Return a new tree with ``entry`` added or replaced."""
+        remaining = tuple(e for e in self.entries if e.name != entry.name)
+        return Tree(entries=remaining + (entry,))
+
+    def without_entry(self, name: str) -> "Tree":
+        """Return a new tree with the entry called ``name`` removed."""
+        return Tree(entries=tuple(e for e in self.entries if e.name != name))
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A snapshot of the project tree plus history metadata."""
+
+    tree_oid: str
+    parent_oids: tuple[str, ...]
+    author: Signature
+    committer: Signature
+    message: str
+
+    type_name = "commit"
+
+    def serialize(self) -> bytes:
+        lines = [f"tree {self.tree_oid}"]
+        for parent in self.parent_oids:
+            lines.append(f"parent {parent}")
+        lines.append(f"author {self.author.serialize()}")
+        lines.append(f"committer {self.committer.serialize()}")
+        lines.append("")
+        lines.append(self.message)
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "Commit":
+        text = payload.decode("utf-8")
+        try:
+            header, message = text.split("\n\n", 1)
+        except ValueError as exc:
+            raise InvalidObjectError("malformed commit payload (missing message)") from exc
+        tree_oid: str | None = None
+        parents: list[str] = []
+        author: Signature | None = None
+        committer: Signature | None = None
+        for line in header.splitlines():
+            if line.startswith("tree "):
+                tree_oid = line[len("tree "):]
+            elif line.startswith("parent "):
+                parents.append(line[len("parent "):])
+            elif line.startswith("author "):
+                author = Signature.parse(line[len("author "):])
+            elif line.startswith("committer "):
+                committer = Signature.parse(line[len("committer "):])
+            else:
+                raise InvalidObjectError(f"unknown commit header line: {line!r}")
+        if tree_oid is None or author is None or committer is None:
+            raise InvalidObjectError("commit payload missing required headers")
+        return cls(
+            tree_oid=tree_oid,
+            parent_oids=tuple(parents),
+            author=author,
+            committer=committer,
+            message=message.rstrip("\n"),
+        )
+
+    @property
+    def oid(self) -> str:
+        return object_id(self.type_name, self.serialize())
+
+    @property
+    def is_merge(self) -> bool:
+        return len(self.parent_oids) > 1
+
+    @property
+    def is_root(self) -> bool:
+        return not self.parent_oids
+
+    @property
+    def summary(self) -> str:
+        """The first line of the commit message."""
+        return self.message.splitlines()[0] if self.message else ""
+
+
+@dataclass(frozen=True)
+class Tag:
+    """An annotated tag pointing at another object (usually a commit)."""
+
+    object_oid: str
+    object_type: str
+    name: str
+    tagger: Signature
+    message: str = ""
+
+    type_name = "tag"
+
+    def serialize(self) -> bytes:
+        lines = [
+            f"object {self.object_oid}",
+            f"type {self.object_type}",
+            f"tag {self.name}",
+            f"tagger {self.tagger.serialize()}",
+            "",
+            self.message,
+        ]
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "Tag":
+        text = payload.decode("utf-8")
+        try:
+            header, message = text.split("\n\n", 1)
+        except ValueError as exc:
+            raise InvalidObjectError("malformed tag payload (missing message)") from exc
+        fields: dict[str, str] = {}
+        for line in header.splitlines():
+            key, _, value = line.partition(" ")
+            fields[key] = value
+        try:
+            return cls(
+                object_oid=fields["object"],
+                object_type=fields["type"],
+                name=fields["tag"],
+                tagger=Signature.parse(fields["tagger"]),
+                message=message.rstrip("\n"),
+            )
+        except KeyError as exc:
+            raise InvalidObjectError(f"tag payload missing header: {exc}") from exc
+
+    @property
+    def oid(self) -> str:
+        return object_id(self.type_name, self.serialize())
+
+
+VCSObject = Union[Blob, Tree, Commit, Tag]
+
+_TYPE_REGISTRY: dict[str, type] = {
+    Blob.type_name: Blob,
+    Tree.type_name: Tree,
+    Commit.type_name: Commit,
+    Tag.type_name: Tag,
+}
+
+
+def deserialize_object(object_type: str, payload: bytes) -> VCSObject:
+    """Reconstruct an object of the given type from its serialised payload."""
+    try:
+        cls = _TYPE_REGISTRY[object_type]
+    except KeyError as exc:
+        raise InvalidObjectError(f"unknown object type: {object_type!r}") from exc
+    return cls.deserialize(payload)

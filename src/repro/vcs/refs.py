@@ -1,0 +1,162 @@
+"""Branches, tags and ``HEAD``.
+
+A :class:`RefStore` maps branch and tag names to commit ids and tracks
+``HEAD``, which is either *symbolic* (attached to a branch, the normal state)
+or *detached* (pointing directly at a commit id, used when checking out a
+historical version — exactly what the citation model does when it needs the
+citation function "of version V").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import RefError
+
+__all__ = ["RefStore", "DEFAULT_BRANCH"]
+
+DEFAULT_BRANCH = "main"
+
+_REF_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/-]*$")
+
+
+def _validate_ref_name(name: str) -> str:
+    if not _REF_NAME_PATTERN.match(name) or name.endswith("/") or ".." in name:
+        raise RefError(f"illegal reference name: {name!r}")
+    return name
+
+
+class RefStore:
+    """Branch/tag/HEAD bookkeeping for a single repository."""
+
+    def __init__(self, default_branch: str = DEFAULT_BRANCH) -> None:
+        _validate_ref_name(default_branch)
+        self._branches: dict[str, str] = {}
+        self._tags: dict[str, str] = {}
+        self._head_branch: Optional[str] = default_branch
+        self._head_oid: Optional[str] = None
+        self.default_branch = default_branch
+
+    # -- branches ----------------------------------------------------------
+
+    @property
+    def branches(self) -> dict[str, str]:
+        """A copy of the branch → commit-id map."""
+        return dict(self._branches)
+
+    def has_branch(self, name: str) -> bool:
+        return name in self._branches
+
+    def branch_target(self, name: str) -> str:
+        try:
+            return self._branches[name]
+        except KeyError:
+            raise RefError(f"unknown branch: {name!r}") from None
+
+    def set_branch(self, name: str, oid: str) -> None:
+        """Create or move a branch to ``oid``."""
+        _validate_ref_name(name)
+        self._branches[name] = oid
+
+    def delete_branch(self, name: str) -> None:
+        if name == self._head_branch:
+            raise RefError(f"cannot delete the currently checked-out branch {name!r}")
+        if name not in self._branches:
+            raise RefError(f"unknown branch: {name!r}")
+        del self._branches[name]
+
+    def rename_branch(self, old: str, new: str) -> None:
+        _validate_ref_name(new)
+        if new in self._branches:
+            raise RefError(f"branch already exists: {new!r}")
+        self._branches[new] = self.branch_target(old)
+        del self._branches[old]
+        if self._head_branch == old:
+            self._head_branch = new
+        if self.default_branch == old:
+            self.default_branch = new
+
+    # -- tags --------------------------------------------------------------
+
+    @property
+    def tags(self) -> dict[str, str]:
+        return dict(self._tags)
+
+    def set_tag(self, name: str, oid: str) -> None:
+        _validate_ref_name(name)
+        if name in self._tags:
+            raise RefError(f"tag already exists: {name!r}")
+        self._tags[name] = oid
+
+    def tag_target(self, name: str) -> str:
+        try:
+            return self._tags[name]
+        except KeyError:
+            raise RefError(f"unknown tag: {name!r}") from None
+
+    def delete_tag(self, name: str) -> None:
+        if name not in self._tags:
+            raise RefError(f"unknown tag: {name!r}")
+        del self._tags[name]
+
+    # -- HEAD --------------------------------------------------------------
+
+    @property
+    def head_branch(self) -> Optional[str]:
+        """The branch HEAD is attached to, or ``None`` when detached."""
+        return self._head_branch
+
+    @property
+    def is_detached(self) -> bool:
+        return self._head_branch is None
+
+    def head_commit(self) -> Optional[str]:
+        """The commit id HEAD ultimately points at (``None`` before the first commit)."""
+        if self._head_branch is not None:
+            return self._branches.get(self._head_branch)
+        return self._head_oid
+
+    def attach_head(self, branch: str) -> None:
+        """Point HEAD at ``branch`` (which must exist unless the repo is empty)."""
+        _validate_ref_name(branch)
+        if self._branches and branch not in self._branches:
+            raise RefError(f"cannot attach HEAD to unknown branch {branch!r}")
+        self._head_branch = branch
+        self._head_oid = None
+
+    def detach_head(self, oid: str) -> None:
+        """Point HEAD directly at a commit id."""
+        self._head_branch = None
+        self._head_oid = oid
+
+    def advance_head(self, oid: str) -> None:
+        """Move HEAD (and its branch, if attached) to a new commit id."""
+        if self._head_branch is not None:
+            self._branches[self._head_branch] = oid
+        else:
+            self._head_oid = oid
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Resolve a branch name, tag name or ``"HEAD"`` to a commit id."""
+        if name == "HEAD":
+            oid = self.head_commit()
+            if oid is None:
+                raise RefError("HEAD does not point at any commit yet")
+            return oid
+        if name in self._branches:
+            return self._branches[name]
+        if name in self._tags:
+            return self._tags[name]
+        raise RefError(f"unknown reference: {name!r}")
+
+    def clone(self) -> "RefStore":
+        """Return an independent copy (used by repository clone/fork)."""
+        duplicate = RefStore(default_branch=self.default_branch)
+        duplicate._branches = dict(self._branches)
+        duplicate._tags = dict(self._tags)
+        duplicate._head_branch = self._head_branch
+        duplicate._head_oid = self._head_oid
+        return duplicate

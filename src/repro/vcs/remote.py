@@ -1,0 +1,165 @@
+"""Repository-to-repository transfer: clone, fork, push and pull.
+
+Because objects are content-addressed, transferring history between two
+repositories only requires copying the objects missing on the receiving side
+and updating a branch reference.  ``push`` enforces fast-forward updates
+unless forced, mirroring how the GitCite local tool publishes the updated
+``citation.cite`` back to the hosting platform (Section 3: "the Git command
+is used to push the local copy ... to the remote repository").
+
+``fork`` copies a repository's full history into a *new* repository owned by
+another user — the substrate operation underlying ForkCite, which the paper
+notes "will naturally" carry citations because ``citation.cite`` travels with
+the tree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RemoteError
+from repro.vcs.merge import commit_ancestors, is_ancestor_commit
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import Commit
+from repro.vcs.repository import Repository
+from repro.vcs.treeops import flatten_tree
+
+__all__ = [
+    "clone_repository",
+    "fork_repository",
+    "push",
+    "pull",
+    "fetch_branch",
+    "reachable_objects",
+]
+
+
+def reachable_objects(store: ObjectStore, commit_oid: str) -> set[str]:
+    """Return every object id reachable from ``commit_oid`` (commits, trees, blobs)."""
+    reachable: set[str] = set()
+    for ancestor in commit_ancestors(store, commit_oid):
+        if ancestor in reachable:
+            continue
+        reachable.add(ancestor)
+        commit = store.get_commit(ancestor)
+        for path, (oid, _) in flatten_tree(store, commit.tree_oid).items():
+            reachable.add(oid)
+    return reachable
+
+
+def _copy_branch_objects(source: Repository, destination: Repository, commit_oid: str) -> int:
+    objects = reachable_objects(source.store, commit_oid)
+    return source.store.copy_objects_to(destination.store, objects)
+
+
+def clone_repository(
+    source: Repository,
+    name: str | None = None,
+    owner: str | None = None,
+) -> Repository:
+    """Create a full copy of ``source`` (all branches, tags and objects).
+
+    The clone keeps the source's owner by default — this is "downloading a
+    copy of the project repository with Git" from Section 3, the state in
+    which the local executable tool operates.
+    """
+    clone = Repository(
+        name=name or source.name,
+        owner=owner or source.owner,
+        default_branch=source.refs.default_branch,
+        description=source.description,
+    )
+    source.store.copy_objects_to(clone.store)
+    clone.refs = source.refs.clone()
+    head = clone.head_oid()
+    if head:
+        clone.checkout(clone.current_branch or head)
+    return clone
+
+
+def fork_repository(source: Repository, new_owner: str, new_name: str | None = None) -> Repository:
+    """Fork ``source`` into a new repository owned by ``new_owner``.
+
+    The full history is preserved; only the ownership (and optionally the
+    name) changes.  The citation layer's ForkCite wraps this and records
+    fork provenance in the new root citation.
+    """
+    if not new_owner:
+        raise RemoteError("a fork must have an owner")
+    fork = clone_repository(source, name=new_name or source.name, owner=new_owner)
+    fork.description = source.description
+    return fork
+
+
+def fetch_branch(source: Repository, destination: Repository, branch: str) -> str:
+    """Copy the objects of ``branch`` from ``source`` into ``destination``.
+
+    The branch reference itself is *not* moved in the destination; the commit
+    id is returned so the caller can merge or fast-forward explicitly.
+    """
+    if not source.refs.has_branch(branch):
+        raise RemoteError(f"source repository has no branch {branch!r}")
+    tip = source.refs.branch_target(branch)
+    _copy_branch_objects(source, destination, tip)
+    return tip
+
+
+def push(
+    local: Repository,
+    remote: Repository,
+    branch: str | None = None,
+    force: bool = False,
+) -> str:
+    """Push a branch from ``local`` to ``remote`` and return the new tip.
+
+    Non-fast-forward updates are rejected unless ``force`` is given, exactly
+    like ``git push``: the remote branch must be an ancestor of the local one.
+    """
+    branch = branch or local.current_branch or local.refs.default_branch
+    if not local.refs.has_branch(branch):
+        raise RemoteError(f"local repository has no branch {branch!r}")
+    local_tip = local.refs.branch_target(branch)
+    _copy_branch_objects(local, remote, local_tip)
+    if remote.refs.has_branch(branch):
+        remote_tip = remote.refs.branch_target(branch)
+        if remote_tip != local_tip and not force:
+            if not is_ancestor_commit(remote.store, remote_tip, local_tip):
+                raise RemoteError(
+                    f"push rejected: remote branch {branch!r} is not an ancestor of the local branch "
+                    "(fetch and merge first, or force-push)"
+                )
+    remote.refs.set_branch(branch, local_tip)
+    if remote.current_branch == branch:
+        remote.checkout(branch)
+    return local_tip
+
+
+def pull(
+    local: Repository,
+    remote: Repository,
+    branch: str | None = None,
+) -> str:
+    """Fetch ``branch`` from ``remote`` and fast-forward the local branch.
+
+    Diverged histories are not merged automatically (the citation-aware
+    MergeCite should decide how to merge); a :class:`RemoteError` is raised
+    instead.
+    """
+    branch = branch or local.current_branch or local.refs.default_branch
+    tip = fetch_branch(remote, local, branch)
+    if not local.refs.has_branch(branch):
+        local.refs.set_branch(branch, tip)
+        if local.current_branch == branch or local.head_oid() is None:
+            local.refs.attach_head(branch)
+            local.checkout(branch)
+        return tip
+    local_tip = local.refs.branch_target(branch)
+    if local_tip == tip:
+        return tip
+    if is_ancestor_commit(local.store, local_tip, tip):
+        local.refs.set_branch(branch, tip)
+        if local.current_branch == branch:
+            local.checkout(branch)
+        return tip
+    raise RemoteError(
+        f"pull cannot fast-forward branch {branch!r}: local and remote histories diverged; "
+        "use MergeCite to merge them"
+    )

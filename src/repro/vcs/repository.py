@@ -1,0 +1,625 @@
+"""The :class:`Repository` facade.
+
+A repository bundles the object store, the reference store, a staging index
+and an in-memory working tree, and exposes the day-to-day operations the
+citation layer and the CLI are built on: write/move/remove files, stage,
+commit, branch, checkout, log, diff, and merge.
+
+The working tree is an in-memory mapping from canonical repository path to
+file bytes.  :mod:`repro.vcs.worktree` can materialise it on disk (and read a
+disk directory back in) for the command-line tool; everything else — tests,
+benchmarks, the hosting-platform simulator — stays in memory, which keeps the
+reproduction fast and hermetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import CheckoutError, MergeConflictError, MergeError, RefError, VCSError
+from repro.utils.paths import ROOT, is_ancestor, join_path, normalize_path, relative_to
+from repro.utils.timeutil import now_utc
+from repro.vcs.diff import TreeDiff, diff_trees
+from repro.vcs.index import StagingIndex
+from repro.vcs.merge import MergeResult, find_merge_base, is_ancestor_commit, merge_trees
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import Blob, Commit, Signature, Tag, Tree
+from repro.vcs.refs import DEFAULT_BRANCH, RefStore
+from repro.vcs.treeops import flatten_files, lookup_path, subtree_oid
+
+__all__ = ["Repository", "CommitInfo", "PreparedMerge", "MergeOutcome", "WorktreeStatus"]
+
+
+@dataclass(frozen=True)
+class CommitInfo:
+    """A commit together with its id (what ``log`` returns)."""
+
+    oid: str
+    commit: Commit
+
+    @property
+    def summary(self) -> str:
+        return self.commit.summary
+
+    @property
+    def timestamp(self) -> datetime:
+        return self.commit.committer.timestamp
+
+
+@dataclass(frozen=True)
+class PreparedMerge:
+    """The inputs and raw result of a three-way merge, before committing.
+
+    The citation layer uses this to run Git's rules on ordinary files while
+    handling ``citation.cite`` itself (Section 3 of the paper).
+    """
+
+    base_oid: Optional[str]
+    ours_oid: str
+    theirs_oid: str
+    base_tree_oid: Optional[str]
+    ours_tree_oid: str
+    theirs_tree_oid: str
+    result: MergeResult
+    fast_forward: bool
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """What a completed merge produced."""
+
+    commit_oid: str
+    fast_forward: bool
+    conflicts_resolved: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorktreeStatus:
+    """Differences between HEAD, the index and the working tree."""
+
+    staged: tuple[str, ...]
+    modified: tuple[str, ...]
+    deleted: tuple[str, ...]
+    untracked: tuple[str, ...]
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.staged or self.modified or self.deleted or self.untracked)
+
+
+class Repository:
+    """An in-memory version-controlled project repository."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: str,
+        default_branch: str = DEFAULT_BRANCH,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise VCSError("repository name must not be empty")
+        if not owner:
+            raise VCSError("repository owner must not be empty")
+        self.name = name
+        self.owner = owner
+        self.description = description
+        self.store = ObjectStore()
+        self.refs = RefStore(default_branch=default_branch)
+        self.index = StagingIndex()
+        self.worktree: dict[str, bytes] = {}
+        self.default_author = Signature(
+            name=owner, email=f"{owner.lower().replace(' ', '.')}@example.org", timestamp=now_utc()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def init(
+        cls,
+        name: str,
+        owner: str,
+        default_branch: str = DEFAULT_BRANCH,
+        description: str = "",
+    ) -> "Repository":
+        """Create an empty repository (no commits yet)."""
+        return cls(name=name, owner=owner, default_branch=default_branch, description=description)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Repository({self.owner}/{self.name}, head={self.head_oid()!r})"
+
+    @property
+    def full_name(self) -> str:
+        """The ``owner/name`` slug used by the hosting platform."""
+        return f"{self.owner}/{self.name}"
+
+    def make_signature(self, name: str | None = None, email: str | None = None,
+                       timestamp: datetime | None = None) -> Signature:
+        """Build a signature, falling back to the repository's default author."""
+        base = self.default_author
+        resolved_name = name if name is not None else base.name
+        resolved_email = email if email is not None else (
+            base.email if name is None else f"{resolved_name.lower().replace(' ', '.')}@example.org"
+        )
+        return Signature(
+            name=resolved_name,
+            email=resolved_email,
+            timestamp=timestamp if timestamp is not None else now_utc(),
+        )
+
+    # ------------------------------------------------------------------
+    # Working-tree operations
+    # ------------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes | str) -> str:
+        """Create or overwrite a file in the working tree; returns its canonical path."""
+        canonical = normalize_path(path)
+        if canonical == ROOT:
+            raise VCSError("cannot write a file at the repository root path '/'")
+        for existing in self.worktree:
+            if is_ancestor(canonical, existing):
+                raise VCSError(f"{canonical!r} is a directory (contains {existing!r})")
+            if is_ancestor(existing, canonical):
+                raise VCSError(f"{existing!r} is a file; cannot create {canonical!r} beneath it")
+        payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
+        self.worktree[canonical] = payload
+        return canonical
+
+    def read_file(self, path: str) -> bytes:
+        """Return the working-tree content of ``path``."""
+        canonical = normalize_path(path)
+        try:
+            return self.worktree[canonical]
+        except KeyError:
+            raise VCSError(f"no such file in the working tree: {canonical!r}") from None
+
+    def file_text(self, path: str, encoding: str = "utf-8") -> str:
+        return self.read_file(path).decode(encoding)
+
+    def file_exists(self, path: str) -> bool:
+        return normalize_path(path) in self.worktree
+
+    def directory_exists(self, path: str) -> bool:
+        canonical = normalize_path(path)
+        if canonical == ROOT:
+            return True
+        return any(is_ancestor(canonical, existing) for existing in self.worktree)
+
+    def remove_file(self, path: str) -> None:
+        canonical = normalize_path(path)
+        if canonical not in self.worktree:
+            raise VCSError(f"no such file in the working tree: {canonical!r}")
+        del self.worktree[canonical]
+        self.index.discard(canonical)
+
+    def remove_directory(self, path: str) -> list[str]:
+        """Remove every file under ``path``; returns the removed paths."""
+        canonical = normalize_path(path)
+        victims = [p for p in self.worktree if is_ancestor(canonical, p) or p == canonical]
+        if not victims:
+            raise VCSError(f"no such directory in the working tree: {canonical!r}")
+        for victim in victims:
+            del self.worktree[victim]
+            self.index.discard(victim)
+        return sorted(victims)
+
+    def move_file(self, source: str, destination: str) -> None:
+        """Move/rename a single file in the working tree."""
+        data = self.read_file(source)
+        self.remove_file(source)
+        self.write_file(destination, data)
+
+    def move_directory(self, source: str, destination: str) -> dict[str, str]:
+        """Move/rename a directory; returns ``{old path: new path}`` for its files."""
+        src = normalize_path(source)
+        dst = normalize_path(destination)
+        moves: dict[str, str] = {}
+        victims = sorted(p for p in self.worktree if is_ancestor(src, p))
+        if not victims:
+            raise VCSError(f"no such directory in the working tree: {src!r}")
+        for old_path in victims:
+            new_path = join_path(dst, relative_to(old_path, src))
+            moves[old_path] = new_path
+        contents = {old: self.worktree[old] for old in victims}
+        for old_path in victims:
+            del self.worktree[old_path]
+            self.index.discard(old_path)
+        for old_path, new_path in moves.items():
+            self.write_file(new_path, contents[old_path])
+        return moves
+
+    def list_files(self, under: str = ROOT) -> list[str]:
+        """Return the working-tree file paths under ``under`` (sorted)."""
+        base = normalize_path(under)
+        if base == ROOT:
+            return sorted(self.worktree)
+        return sorted(p for p in self.worktree if is_ancestor(base, p) or p == base)
+
+    def list_directories(self, under: str = ROOT) -> list[str]:
+        """Return every (implicit) directory path in the working tree."""
+        base = normalize_path(under)
+        directories: set[str] = {ROOT}
+        for path in self.worktree:
+            parts = path[1:].split("/")
+            for cut in range(1, len(parts)):
+                directories.add("/" + "/".join(parts[:cut]))
+        if base == ROOT:
+            return sorted(directories)
+        return sorted(d for d in directories if d == base or is_ancestor(base, d))
+
+    # ------------------------------------------------------------------
+    # Staging and committing
+    # ------------------------------------------------------------------
+
+    def add(self, paths: Iterable[str] | None = None) -> list[str]:
+        """Stage working-tree files (all of them when ``paths`` is ``None``)."""
+        if paths is None:
+            targets = sorted(self.worktree)
+            # Also record deletions: start from a clean slate mirroring the worktree.
+            self.index.clear()
+        else:
+            targets = []
+            for path in paths:
+                canonical = normalize_path(path)
+                if canonical in self.worktree:
+                    targets.append(canonical)
+                elif self.directory_exists(canonical):
+                    targets.extend(p for p in self.worktree if is_ancestor(canonical, p))
+                else:
+                    # Path was deleted from the working tree: unstage it.
+                    self.index.discard(canonical)
+        staged: list[str] = []
+        for path in targets:
+            blob = Blob(self.worktree[path])
+            oid = self.store.put(blob)
+            self.index.discard(path)
+            self.index.stage(path, oid)
+            staged.append(path)
+        return staged
+
+    def commit(
+        self,
+        message: str,
+        author: Signature | None = None,
+        author_name: str | None = None,
+        author_email: str | None = None,
+        timestamp: datetime | None = None,
+        allow_empty: bool = False,
+        auto_add: bool = True,
+    ) -> str:
+        """Create a commit from the current working tree and return its id.
+
+        By default (``auto_add=True``) the whole working tree is staged first,
+        which matches how the GitCite tools operate: every citation operation
+        rewrites ``citation.cite`` and the next commit snapshots it.
+        """
+        if auto_add:
+            self.add()
+        if author is None:
+            author = self.make_signature(author_name, author_email, timestamp)
+        elif timestamp is not None and author.timestamp != timestamp:
+            author = Signature(name=author.name, email=author.email, timestamp=timestamp)
+        tree_oid = self.index.write_tree(self.store)
+        parent = self.head_oid()
+        parents: tuple[str, ...] = (parent,) if parent else ()
+        if parent and not allow_empty:
+            parent_tree = self.store.get_commit(parent).tree_oid
+            if parent_tree == tree_oid:
+                raise VCSError("nothing to commit (working tree matches HEAD); use allow_empty=True")
+        commit = Commit(
+            tree_oid=tree_oid,
+            parent_oids=parents,
+            author=author,
+            committer=author,
+            message=message,
+        )
+        oid = self.store.put(commit)
+        if not self.refs.branches and not self.refs.is_detached:
+            # First commit: create the default branch at this commit.
+            self.refs.set_branch(self.refs.head_branch or self.refs.default_branch, oid)
+        else:
+            self.refs.advance_head(oid)
+        return oid
+
+    def _merge_commit(
+        self,
+        message: str,
+        tree_oid: str,
+        parents: tuple[str, ...],
+        author: Signature,
+    ) -> str:
+        commit = Commit(
+            tree_oid=tree_oid,
+            parent_oids=parents,
+            author=author,
+            committer=author,
+            message=message,
+        )
+        oid = self.store.put(commit)
+        self.refs.advance_head(oid)
+        return oid
+
+    # ------------------------------------------------------------------
+    # References and history
+    # ------------------------------------------------------------------
+
+    def head_oid(self) -> Optional[str]:
+        return self.refs.head_commit()
+
+    def head_commit(self) -> Optional[Commit]:
+        oid = self.head_oid()
+        return self.store.get_commit(oid) if oid else None
+
+    @property
+    def current_branch(self) -> Optional[str]:
+        return self.refs.head_branch
+
+    def branches(self) -> dict[str, str]:
+        return self.refs.branches
+
+    def create_branch(self, name: str, at: str | None = None) -> str:
+        """Create a branch at ``at`` (default: HEAD) and return its commit id."""
+        target = self.resolve(at) if at else self.head_oid()
+        if target is None:
+            raise RefError("cannot create a branch in a repository with no commits")
+        if self.refs.has_branch(name):
+            raise RefError(f"branch already exists: {name!r}")
+        self.refs.set_branch(name, target)
+        return target
+
+    def delete_branch(self, name: str) -> None:
+        self.refs.delete_branch(name)
+
+    def tag(self, name: str, at: str | None = None, message: str = "",
+            tagger: Signature | None = None) -> str:
+        """Create a tag; annotated when ``message`` is non-empty."""
+        target = self.resolve(at) if at else self.head_oid()
+        if target is None:
+            raise RefError("cannot tag a repository with no commits")
+        if message:
+            tag = Tag(
+                object_oid=target,
+                object_type="commit",
+                name=name,
+                tagger=tagger or self.make_signature(),
+                message=message,
+            )
+            self.store.put(tag)
+        self.refs.set_tag(name, target)
+        return target
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a branch/tag/``HEAD``/object-id (full or abbreviated) to a commit id."""
+        try:
+            return self.refs.resolve(ref)
+        except RefError:
+            pass
+        if ref in self.store and self.store.get_type(ref) == "commit":
+            return ref
+        try:
+            full = self.store.resolve_prefix(ref)
+        except VCSError:
+            raise RefError(f"cannot resolve reference: {ref!r}") from None
+        if self.store.get_type(full) != "commit":
+            raise RefError(f"reference {ref!r} does not name a commit")
+        return full
+
+    def checkout(self, ref: str, create_branch: bool = False) -> str:
+        """Switch HEAD (and the working tree) to ``ref``; returns the commit id."""
+        if create_branch:
+            self.create_branch(ref)
+        if self.refs.has_branch(ref):
+            target = self.refs.branch_target(ref)
+            self.refs.attach_head(ref)
+        else:
+            try:
+                target = self.resolve(ref)
+            except RefError as exc:
+                raise CheckoutError(str(exc)) from exc
+            self.refs.detach_head(target)
+        self._load_worktree(target)
+        return target
+
+    def _load_worktree(self, commit_oid: str) -> None:
+        commit = self.store.get_commit(commit_oid)
+        files = flatten_files(self.store, commit.tree_oid)
+        self.worktree = {path: self.store.get_blob(oid).data for path, (oid, _) in files.items()}
+        self.index.read_tree(self.store, commit.tree_oid)
+
+    def log(self, ref: str = "HEAD", limit: int | None = None) -> list[CommitInfo]:
+        """Return the history reachable from ``ref``, newest first."""
+        try:
+            start = self.resolve(ref)
+        except RefError:
+            return []
+        seen: set[str] = set()
+        ordered: list[CommitInfo] = []
+        frontier = [start]
+        while frontier:
+            # Pick the frontier commit with the latest committer timestamp, which
+            # yields a reverse-chronological interleaving of merged branches.
+            frontier.sort(key=lambda oid: self.store.get_commit(oid).committer.timestamp)
+            oid = frontier.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            commit = self.store.get_commit(oid)
+            ordered.append(CommitInfo(oid=oid, commit=commit))
+            frontier.extend(p for p in commit.parent_oids if p not in seen)
+            if limit is not None and len(ordered) >= limit:
+                break
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Snapshots and diffs
+    # ------------------------------------------------------------------
+
+    def tree_oid_of(self, ref: str) -> str:
+        return self.store.get_commit(self.resolve(ref)).tree_oid
+
+    def snapshot(self, ref: str = "HEAD") -> dict[str, bytes]:
+        """Return ``{path: content}`` for every file in the given version."""
+        tree_oid = self.tree_oid_of(ref)
+        files = flatten_files(self.store, tree_oid)
+        return {path: self.store.get_blob(oid).data for path, (oid, _) in files.items()}
+
+    def read_file_at(self, ref: str, path: str) -> bytes:
+        """Return a file's content as of the given version."""
+        tree_oid = self.tree_oid_of(ref)
+        resolved = lookup_path(self.store, tree_oid, path)
+        if resolved is None:
+            raise VCSError(f"no such file in {ref!r}: {path!r}")
+        oid, mode = resolved
+        if mode == "040000":
+            raise VCSError(f"path is a directory in {ref!r}: {path!r}")
+        return self.store.get_blob(oid).data
+
+    def path_exists_at(self, ref: str, path: str) -> bool:
+        tree_oid = self.tree_oid_of(ref)
+        return lookup_path(self.store, tree_oid, path) is not None
+
+    def subtree_of(self, ref: str, path: str) -> str:
+        """Return the tree id of the directory ``path`` in version ``ref``."""
+        return subtree_oid(self.store, self.tree_oid_of(ref), path)
+
+    def diff(self, old_ref: str, new_ref: str, detect_renames: bool = True) -> TreeDiff:
+        """Diff two versions of the repository."""
+        return diff_trees(
+            self.store,
+            self.tree_oid_of(old_ref),
+            self.tree_oid_of(new_ref),
+            detect_renames=detect_renames,
+        )
+
+    def status(self) -> WorktreeStatus:
+        """Compare HEAD, the index and the working tree."""
+        head = self.head_oid()
+        head_files: dict[str, tuple[str, str]] = {}
+        if head:
+            head_files = flatten_files(self.store, self.store.get_commit(head).tree_oid)
+        staged: list[str] = []
+        for path, (oid, _) in self.index.entries().items():
+            if path not in head_files or head_files[path][0] != oid:
+                staged.append(path)
+        modified: list[str] = []
+        deleted: list[str] = []
+        untracked: list[str] = []
+        tracked = set(head_files) | set(self.index.entries())
+        for path, data in self.worktree.items():
+            if path not in tracked:
+                untracked.append(path)
+                continue
+            reference = self.index.get(path) or head_files.get(path)
+            if reference is None:
+                untracked.append(path)
+            elif Blob(data).oid != reference[0]:
+                modified.append(path)
+        for path in tracked:
+            if path not in self.worktree:
+                deleted.append(path)
+        return WorktreeStatus(
+            staged=tuple(sorted(staged)),
+            modified=tuple(sorted(modified)),
+            deleted=tuple(sorted(deleted)),
+            untracked=tuple(sorted(untracked)),
+        )
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def prepare_merge(self, other_ref: str, ours_ref: str = "HEAD") -> PreparedMerge:
+        """Compute the three-way merge of ``other_ref`` into ``ours_ref`` without committing."""
+        ours_oid = self.resolve(ours_ref)
+        theirs_oid = self.resolve(other_ref)
+        base_oid = find_merge_base(self.store, ours_oid, theirs_oid)
+        ours_tree = self.store.get_commit(ours_oid).tree_oid
+        theirs_tree = self.store.get_commit(theirs_oid).tree_oid
+        base_tree = self.store.get_commit(base_oid).tree_oid if base_oid else None
+        fast_forward = base_oid == ours_oid
+        result = merge_trees(self.store, base_tree, ours_tree, theirs_tree)
+        return PreparedMerge(
+            base_oid=base_oid,
+            ours_oid=ours_oid,
+            theirs_oid=theirs_oid,
+            base_tree_oid=base_tree,
+            ours_tree_oid=ours_tree,
+            theirs_tree_oid=theirs_tree,
+            result=result,
+            fast_forward=fast_forward,
+        )
+
+    def merge(
+        self,
+        other_ref: str,
+        message: str | None = None,
+        author: Signature | None = None,
+        timestamp: datetime | None = None,
+        resolutions: Mapping[str, bytes] | None = None,
+        extra_files: Mapping[str, bytes] | None = None,
+        allow_fast_forward: bool = True,
+        allow_unrelated: bool = False,
+    ) -> MergeOutcome:
+        """Merge ``other_ref`` into the current branch.
+
+        ``resolutions`` supplies content for conflicted paths (a missing entry
+        for a conflict raises :class:`MergeConflictError`).  ``extra_files``
+        lets the citation layer inject the merged ``citation.cite`` content
+        into the merge commit, as MergeCite requires.
+        """
+        prepared = self.prepare_merge(other_ref)
+        if prepared.base_oid is None and not allow_unrelated:
+            raise MergeError(
+                f"refusing to merge unrelated histories: {other_ref!r} shares no ancestor with HEAD"
+            )
+        if prepared.theirs_oid == prepared.ours_oid or (
+            prepared.base_oid == prepared.theirs_oid
+        ):
+            # Other branch is already contained in ours: nothing to do.
+            return MergeOutcome(commit_oid=prepared.ours_oid, fast_forward=True)
+
+        author = author or self.make_signature(timestamp=timestamp)
+        if timestamp is not None and author.timestamp != timestamp:
+            author = Signature(name=author.name, email=author.email, timestamp=timestamp)
+
+        if prepared.fast_forward and allow_fast_forward and not extra_files:
+            self.refs.advance_head(prepared.theirs_oid)
+            self._load_worktree(prepared.theirs_oid)
+            return MergeOutcome(commit_oid=prepared.theirs_oid, fast_forward=True)
+
+        files = dict(prepared.result.files)
+        unresolved = list(prepared.result.conflicts)
+        resolved: list[str] = []
+        if resolutions:
+            for path, content in resolutions.items():
+                canonical = normalize_path(path)
+                files[canonical] = content
+                if canonical in unresolved:
+                    unresolved.remove(canonical)
+                    resolved.append(canonical)
+        if unresolved:
+            raise MergeConflictError(unresolved)
+        if extra_files:
+            for path, content in extra_files.items():
+                files[normalize_path(path)] = content
+
+        # Build the merged tree and commit with both parents.
+        self.worktree = dict(files)
+        self.add()
+        tree_oid = self.index.write_tree(self.store)
+        message = message or f"Merge {other_ref} into {self.current_branch or 'HEAD'}"
+        commit_oid = self._merge_commit(
+            message=message,
+            tree_oid=tree_oid,
+            parents=(prepared.ours_oid, prepared.theirs_oid),
+            author=author,
+        )
+        return MergeOutcome(
+            commit_oid=commit_oid,
+            fast_forward=False,
+            conflicts_resolved=tuple(sorted(resolved)),
+        )

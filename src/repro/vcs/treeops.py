@@ -1,0 +1,158 @@
+"""Operations on stored trees: flattening, building, lookup and extraction.
+
+Trees are stored as nested objects (a directory's entry points at the subtree
+object).  The citation model, the diff machinery and the staging index all
+prefer a *flat* view — a mapping from canonical repository path (``"/a/b"``)
+to ``(object id, mode)`` — because the citation function itself is keyed by
+path.  This module converts between the two representations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import VCSError
+from repro.utils.paths import ROOT, join_path, normalize_path, split_path
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Tree, TreeEntry
+
+__all__ = [
+    "flatten_tree",
+    "flatten_files",
+    "build_tree",
+    "lookup_path",
+    "list_directories",
+    "subtree_oid",
+    "tree_contains",
+    "iter_file_paths",
+]
+
+
+def flatten_tree(store: ObjectStore, tree_oid: str, base: str = ROOT) -> dict[str, tuple[str, str]]:
+    """Flatten the tree at ``tree_oid`` into ``{path: (oid, mode)}``.
+
+    Both files and directories appear in the result; the base directory itself
+    is included under its own path with mode :data:`MODE_DIRECTORY`.
+    """
+    base = normalize_path(base)
+    result: dict[str, tuple[str, str]] = {base: (tree_oid, MODE_DIRECTORY)}
+    tree = store.get_tree(tree_oid)
+    for entry in tree.entries:
+        path = join_path(base, entry.name)
+        if entry.is_directory:
+            result.update(flatten_tree(store, entry.oid, base=path))
+        else:
+            result[path] = (entry.oid, entry.mode)
+    return result
+
+
+def flatten_files(store: ObjectStore, tree_oid: str, base: str = ROOT) -> dict[str, tuple[str, str]]:
+    """Like :func:`flatten_tree` but restricted to file (blob) entries."""
+    return {
+        path: (oid, mode)
+        for path, (oid, mode) in flatten_tree(store, tree_oid, base=base).items()
+        if mode != MODE_DIRECTORY
+    }
+
+
+def iter_file_paths(store: ObjectStore, tree_oid: str) -> Iterator[str]:
+    """Yield the canonical paths of every file reachable from ``tree_oid``."""
+    yield from sorted(flatten_files(store, tree_oid))
+
+
+def list_directories(store: ObjectStore, tree_oid: str) -> list[str]:
+    """Return the canonical paths of every directory reachable from ``tree_oid``."""
+    return sorted(
+        path
+        for path, (_, mode) in flatten_tree(store, tree_oid).items()
+        if mode == MODE_DIRECTORY
+    )
+
+
+def build_tree(store: ObjectStore, files: Mapping[str, tuple[str, str]]) -> str:
+    """Build nested tree objects from a flat ``{path: (blob oid, mode)}`` map.
+
+    Only file entries may be supplied; directories are created implicitly.
+    Returns the id of the root tree (an empty map produces an empty tree).
+    """
+    nested: dict = {}
+    for path, (oid, mode) in files.items():
+        if mode == MODE_DIRECTORY:
+            raise VCSError(f"build_tree expects file entries only, got directory {path!r}")
+        parts = split_path(path)
+        if not parts:
+            raise VCSError("cannot store a file at the repository root path '/'")
+        cursor = nested
+        for component in parts[:-1]:
+            existing = cursor.setdefault(component, {})
+            if not isinstance(existing, dict):
+                raise VCSError(
+                    f"path conflict: {component!r} is both a file and a directory under {path!r}"
+                )
+            cursor = existing
+        if parts[-1] in cursor and isinstance(cursor[parts[-1]], dict):
+            raise VCSError(f"path conflict: {path!r} is both a file and a directory")
+        cursor[parts[-1]] = (oid, mode)
+
+    def _build(node: dict) -> str:
+        entries: list[TreeEntry] = []
+        for name, value in node.items():
+            if isinstance(value, dict):
+                child_oid = _build(value)
+                entries.append(TreeEntry(name=name, oid=child_oid, mode=MODE_DIRECTORY))
+            else:
+                blob_oid, mode = value
+                entries.append(TreeEntry(name=name, oid=blob_oid, mode=mode))
+        tree = Tree(entries=tuple(entries))
+        return store.put(tree)
+
+    return _build(nested)
+
+
+def lookup_path(store: ObjectStore, tree_oid: str, path: str) -> tuple[str, str] | None:
+    """Resolve ``path`` inside the tree at ``tree_oid``.
+
+    Returns ``(object id, mode)`` for the file or directory at that path, or
+    ``None`` when the path does not exist in this version.
+    """
+    parts = split_path(path)
+    current_oid = tree_oid
+    current_mode = MODE_DIRECTORY
+    for component in parts:
+        if current_mode != MODE_DIRECTORY:
+            return None
+        tree = store.get_tree(current_oid)
+        entry = tree.entry(component)
+        if entry is None:
+            return None
+        current_oid = entry.oid
+        current_mode = entry.mode
+    return current_oid, current_mode
+
+
+def tree_contains(store: ObjectStore, tree_oid: str, path: str) -> bool:
+    """Return whether ``path`` (file or directory) exists in the tree."""
+    return lookup_path(store, tree_oid, path) is not None
+
+
+def subtree_oid(store: ObjectStore, tree_oid: str, path: str) -> str:
+    """Return the tree id of the directory at ``path``.
+
+    Raises
+    ------
+    VCSError
+        If the path does not exist or is a file.
+    """
+    resolved = lookup_path(store, tree_oid, path)
+    if resolved is None:
+        raise VCSError(f"no such directory in this version: {path!r}")
+    oid, mode = resolved
+    if mode != MODE_DIRECTORY:
+        raise VCSError(f"path is a file, not a directory: {path!r}")
+    return oid
+
+
+def file_mode_for(data: bytes, executable: bool = False) -> str:
+    """Return the tree-entry mode for a new file (helper for the index)."""
+    del data  # content does not influence the mode in this substrate
+    return "100755" if executable else MODE_FILE

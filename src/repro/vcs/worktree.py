@@ -1,0 +1,108 @@
+"""Materialising repositories on disk and reading them back.
+
+The local executable tool of the paper operates on a checked-out copy of the
+project on the user's machine.  These helpers bridge the in-memory
+:class:`~repro.vcs.repository.Repository` working tree and a real directory:
+
+* :func:`export_worktree` writes the current working tree to a directory;
+* :func:`import_worktree` replaces the working tree with a directory's
+  content (honouring ignore rules);
+* :func:`export_snapshot` writes an arbitrary committed version to a
+  directory without touching the working tree.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import VCSError
+from repro.utils.paths import normalize_path
+from repro.vcs.ignore import IgnoreRules
+from repro.vcs.repository import Repository
+
+__all__ = ["export_worktree", "import_worktree", "export_snapshot"]
+
+
+def _target_path(root: Path, repo_path: str) -> Path:
+    relative = normalize_path(repo_path)[1:]
+    return root / Path(relative)
+
+
+def export_worktree(repo: Repository, destination: str | os.PathLike[str]) -> list[str]:
+    """Write the repository's working tree under ``destination``.
+
+    Returns the list of repository paths written.  Existing files are
+    overwritten; files present on disk but absent from the working tree are
+    left alone (use a fresh directory for a clean export).
+    """
+    root = Path(destination)
+    root.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    for repo_path, data in sorted(repo.worktree.items()):
+        target = _target_path(root, repo_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+        written.append(repo_path)
+    return written
+
+
+def export_snapshot(
+    repo: Repository, ref: str, destination: str | os.PathLike[str]
+) -> list[str]:
+    """Write the files of version ``ref`` under ``destination``."""
+    root = Path(destination)
+    root.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    for repo_path, data in sorted(repo.snapshot(ref).items()):
+        target = _target_path(root, repo_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+        written.append(repo_path)
+    return written
+
+
+def import_worktree(
+    repo: Repository,
+    source: str | os.PathLike[str],
+    ignore: IgnoreRules | None = None,
+    replace: bool = True,
+) -> list[str]:
+    """Load a directory tree from disk into the repository's working tree.
+
+    With ``replace=True`` (the default) the working tree is cleared first so
+    files deleted on disk disappear from the next commit.  Returns the list of
+    repository paths imported.
+    """
+    root = Path(source)
+    if not root.is_dir():
+        raise VCSError(f"not a directory: {root}")
+    rules = ignore or IgnoreRules()
+    if replace:
+        repo.worktree.clear()
+        repo.index.clear()
+    imported: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        current = Path(dirpath)
+        relative_dir = "/" + current.relative_to(root).as_posix() if current != root else "/"
+        if relative_dir == "/.":
+            relative_dir = "/"
+        # Prune ignored directories in place so os.walk skips them.
+        dirnames[:] = [
+            d
+            for d in sorted(dirnames)
+            if not rules.matches(
+                relative_dir.rstrip("/") + "/" + d if relative_dir != "/" else "/" + d,
+                is_directory=True,
+            )
+        ]
+        for filename in sorted(filenames):
+            repo_path = (
+                relative_dir.rstrip("/") + "/" + filename if relative_dir != "/" else "/" + filename
+            )
+            if rules.matches(repo_path):
+                continue
+            data = (current / filename).read_bytes()
+            repo.write_file(repo_path, data)
+            imported.append(normalize_path(repo_path))
+    return sorted(imported)

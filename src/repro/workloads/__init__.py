@@ -1,0 +1,48 @@
+"""Workload builders: the paper's scenarios plus synthetic generators.
+
+* :mod:`scenarios` — deterministic builders for the paper's own artifacts:
+  the Figure 1 running example (projects P1/P2, versions V1–V5, citations
+  C1–C4), the Listing 1 demonstration scenario (the CiteDB repository with
+  its CopyCite'd CoreCover subtree and MergeCite'd GUI branch), and the
+  hosted setting used by the Figure 2 browser-extension walkthrough.
+* :mod:`generator` — seeded synthetic repositories, citation functions,
+  branch pairs and operation traces used by the scalability and ablation
+  benchmarks (the paper itself reports no numbers, so these define the
+  workloads for the EXTRA-* experiments in DESIGN.md).
+"""
+
+from repro.workloads.generator import (
+    SyntheticWorkload,
+    WorkloadConfig,
+    generate_branch_pair,
+    generate_citation,
+    generate_operation_trace,
+    generate_repository,
+    generate_tree_paths,
+)
+from repro.workloads.scenarios import (
+    LISTING1_EXPECTED_KEYS,
+    DemoScenario,
+    ExtensionScenario,
+    RunningExample,
+    build_demo_scenario,
+    build_extension_scenario,
+    build_running_example,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "generate_branch_pair",
+    "generate_citation",
+    "generate_operation_trace",
+    "generate_repository",
+    "generate_tree_paths",
+    "LISTING1_EXPECTED_KEYS",
+    "DemoScenario",
+    "ExtensionScenario",
+    "RunningExample",
+    "build_demo_scenario",
+    "build_extension_scenario",
+    "build_running_example",
+]

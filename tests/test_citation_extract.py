@@ -1,0 +1,85 @@
+"""Tests for citing an extracted code base (repro.citation.extract)."""
+
+import pytest
+
+from repro.citation.extract import cite_extraction, render_bibliography
+from repro.citation.function import CitationFunction
+from repro.workloads.scenarios import build_demo_scenario
+
+
+@pytest.fixture
+def function(sample_citation, other_citation):
+    function = CitationFunction.with_root(sample_citation)
+    function.put("/CoreCover", other_citation, is_directory=True)
+    function.put("/gui/app.py", sample_citation.with_changes(authors=("Yanssie",)), False)
+    return function
+
+
+class TestCiteExtraction:
+    def test_groups_paths_by_covering_citation(self, function, sample_citation, other_citation):
+        extraction = cite_extraction(
+            function,
+            ["/CoreCover/a.py", "/CoreCover/b.py", "/gui/app.py", "/README.md"],
+        )
+        assert extraction.distinct_count == 3
+        main_entry = extraction.entries[0]  # most-covering first
+        assert main_entry.citation == other_citation
+        assert main_entry.covered_paths == ("/CoreCover/a.py", "/CoreCover/b.py")
+        assert extraction.citation_for("/README.md") == sample_citation
+
+    def test_single_citation_extraction(self, sample_citation):
+        function = CitationFunction.with_root(sample_citation)
+        extraction = cite_extraction(function, ["/a.py", "/deep/b.py"])
+        assert extraction.distinct_count == 1
+        assert extraction.entries[0].coverage == 2
+
+    def test_identical_citation_values_group_even_from_different_sources(self, sample_citation):
+        function = CitationFunction.with_root(sample_citation)
+        function.put("/pkg", sample_citation, is_directory=True)  # same value, different key
+        extraction = cite_extraction(function, ["/pkg/x.py", "/top.py"])
+        assert extraction.distinct_count == 1
+
+    def test_authors_across_the_extraction(self, function):
+        extraction = cite_extraction(function, ["/CoreCover/a.py", "/gui/app.py", "/README.md"])
+        assert set(extraction.authors()) == {"Chen Li", "Yanssie", "Yinjun Wu"}
+
+    def test_empty_extraction(self, function):
+        extraction = cite_extraction(function, [])
+        assert extraction.distinct_count == 0
+        assert extraction.authors() == []
+        assert render_bibliography(extraction) == ""
+
+    def test_paths_normalised(self, function, other_citation):
+        extraction = cite_extraction(function, ["CoreCover/a.py"])
+        assert extraction.citation_for("/CoreCover/a.py") == other_citation
+
+
+class TestBibliographyRendering:
+    def test_text_bibliography_lists_each_citation_once(self, function):
+        extraction = cite_extraction(
+            function, ["/CoreCover/a.py", "/CoreCover/b.py", "/gui/app.py"]
+        )
+        text = render_bibliography(extraction, "text")
+        # One rendered citation per distinct citation value, not per covered path.
+        assert text.count("@5cc951e") == 1
+        assert "covers: /CoreCover/a.py, /CoreCover/b.py" in text
+
+    def test_bibtex_bibliography_uses_comment_prefix(self, function):
+        extraction = cite_extraction(function, ["/CoreCover/a.py", "/gui/app.py"])
+        bib = render_bibliography(extraction, "bibtex")
+        assert bib.count("@software{") == 2
+        assert "% covers:" in bib
+
+    def test_coverage_lines_can_be_suppressed(self, function):
+        extraction = cite_extraction(function, ["/CoreCover/a.py"])
+        assert "covers:" not in render_bibliography(extraction, "text", include_coverage=False)
+
+    def test_demo_scenario_extraction_matches_listing1_credits(self, demo_scenario):
+        function = demo_scenario.citation_function
+        extraction = cite_extraction(
+            function,
+            ["/CoreCover/corecover.py", "/citation/GUI/main_window.py", "/citation/query_processor.py"],
+        )
+        owners = {entry.citation.owner for entry in extraction.entries}
+        assert owners == {"Chen Li", "Yinjun Wu"}
+        assert extraction.distinct_count == 3  # root, CoreCover and GUI citations all differ

@@ -1,0 +1,135 @@
+"""Unit tests for citation functions and closest-ancestor resolution (Section 2)."""
+
+import pytest
+
+from repro.errors import CitationExistsError, CitationNotFoundError, ConsistencyError
+from repro.citation.function import CitationEntry, CitationFunction
+
+
+@pytest.fixture
+def function(sample_citation, other_citation) -> CitationFunction:
+    """Root cited with the sample citation, /green cited with the other one."""
+    function = CitationFunction.with_root(sample_citation)
+    function.put("/green", other_citation, is_directory=True)
+    return function
+
+
+class TestActiveDomain:
+    def test_with_root_creates_total_function(self, sample_citation):
+        function = CitationFunction.with_root(sample_citation)
+        assert function.has_root
+        assert function.active_domain() == ["/"]
+        assert function.root_citation() == sample_citation
+
+    def test_attach_and_membership(self, function, sample_citation):
+        function.attach("/f1.py", sample_citation, is_directory=False)
+        assert "/f1.py" in function
+        assert function.get_explicit("/f1.py") == sample_citation
+        assert len(function) == 3
+
+    def test_attach_existing_path_raises(self, function, sample_citation):
+        with pytest.raises(CitationExistsError):
+            function.attach("/green", sample_citation, is_directory=True)
+
+    def test_replace_missing_path_raises(self, function, sample_citation):
+        with pytest.raises(CitationNotFoundError):
+            function.replace("/missing.py", sample_citation)
+
+    def test_detach_and_root_protection(self, function):
+        function.detach("/green")
+        assert "/green" not in function
+        with pytest.raises(CitationNotFoundError):
+            function.detach("/green")
+        with pytest.raises(ConsistencyError):
+            function.detach("/")
+
+    def test_root_entry_must_be_directory(self, sample_citation):
+        with pytest.raises(ConsistencyError):
+            CitationEntry(path="/", citation=sample_citation, is_directory=False)
+
+    def test_entries_under(self, function, sample_citation):
+        function.put("/green/deep/file.py", sample_citation, False)
+        under = [entry.path for entry in function.entries_under("/green")]
+        assert under == ["/green", "/green/deep/file.py"]
+        without_prefix = [e.path for e in function.entries_under("/green", include_prefix=False)]
+        assert without_prefix == ["/green/deep/file.py"]
+
+    def test_copy_is_independent(self, function, sample_citation):
+        duplicate = function.copy()
+        duplicate.put("/new.py", sample_citation, False)
+        assert "/new.py" not in function
+        assert duplicate != function
+
+    def test_equality(self, sample_citation):
+        assert CitationFunction.with_root(sample_citation) == CitationFunction.with_root(sample_citation)
+
+
+class TestResolution:
+    def test_explicit_citation_wins(self, function, other_citation):
+        resolved = function.resolve("/green")
+        assert resolved.citation == other_citation
+        assert resolved.is_explicit and not resolved.inherited
+        assert resolved.source_path == "/green"
+
+    def test_closest_ancestor_inheritance(self, function, other_citation):
+        resolved = function.resolve("/green/f2.py")
+        assert resolved.citation == other_citation
+        assert resolved.inherited
+        assert resolved.source_path == "/green"
+
+    def test_falls_back_to_root(self, function, sample_citation):
+        resolved = function.resolve("/unrelated/deep/file.py")
+        assert resolved.citation == sample_citation
+        assert resolved.source_path == "/"
+
+    def test_closest_beats_farther_ancestor(self, function, sample_citation, other_citation):
+        nested = sample_citation.with_changes(title="nested dir")
+        function.put("/green/inner", nested, is_directory=True)
+        assert function.resolve("/green/inner/x.py").citation == nested
+        assert function.resolve("/green/other.py").citation == other_citation
+
+    def test_resolution_total_for_every_node(self, function):
+        for path in ("/", "/a", "/a/b/c/d/e", "/green", "/green/x/y"):
+            assert function.resolve(path) is not None
+
+    def test_missing_root_is_undefined(self, sample_citation):
+        function = CitationFunction()
+        function.put("/dir", sample_citation, is_directory=True)
+        with pytest.raises(ConsistencyError):
+            function.resolve("/other.py")
+
+    def test_resolve_chain_lists_all_ancestor_citations(self, function, sample_citation, other_citation):
+        chain = function.resolve_chain("/green/f2.py")
+        assert [r.source_path for r in chain] == ["/green", "/"]
+        assert chain[0].citation == other_citation
+        assert chain[-1].citation == sample_citation
+        assert chain[0].citation == function.resolve("/green/f2.py").citation
+
+
+class TestStructuralUpdates:
+    def test_rename_single_entry(self, function, other_citation):
+        assert function.rename("/green", "/blue")
+        assert function.get_explicit("/blue") == other_citation
+        assert "/green" not in function
+        assert not function.rename("/missing", "/elsewhere")
+
+    def test_rename_prefix_moves_subtree_entries(self, function, sample_citation):
+        function.put("/green/f2.py", sample_citation, False)
+        moves = function.rename_prefix("/green", "/imported/green")
+        assert moves == {"/green": "/imported/green", "/green/f2.py": "/imported/green/f2.py"}
+        assert function.resolve("/imported/green/f2.py").is_explicit
+
+    def test_drop_missing_removes_orphans_but_keeps_root(self, function, sample_citation):
+        function.put("/gone.py", sample_citation, False)
+        dropped = function.drop_missing({"/green"})
+        assert dropped == ["/gone.py"]
+        assert function.has_root and "/green" in function
+
+    def test_put_preserves_existing_directory_flag(self, function, sample_citation):
+        function.put("/green", sample_citation, is_directory=False)
+        assert function.entry("/green").is_directory  # original flag kept
+
+    def test_to_entries_from_entries_round_trip(self, function):
+        rebuilt = CitationFunction.from_entries(function.to_entries())
+        assert rebuilt == function
+        assert [e.path for e in rebuilt] == sorted(rebuilt.active_domain())

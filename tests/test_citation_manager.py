@@ -1,0 +1,250 @@
+"""Integration-style unit tests for CitationManager (the local tool as a library)."""
+
+import pytest
+
+from repro.errors import CitationConflictError, CitationFileError, MergeConflictError, VCSError
+from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes
+from repro.citation.conflict import AskUserStrategy, NewestStrategy, TheirsStrategy
+from repro.citation.manager import CitationManager
+from repro.vcs.repository import Repository
+
+
+class TestEnableAndCite:
+    def test_init_citations_creates_root_entry(self, enabled_manager):
+        function = enabled_manager.citation_function()
+        assert function.active_domain() == ["/"]
+        root = function.root_citation()
+        assert root.repo_name == "demo" and root.owner == "alice"
+        assert enabled_manager.repo.file_exists(CITATION_FILE_PATH)
+
+    def test_double_enable_requires_overwrite(self, enabled_manager):
+        with pytest.raises(CitationFileError):
+            enabled_manager.init_citations()
+        enabled_manager.init_citations(overwrite=True)
+
+    def test_not_enabled_raises(self, simple_repo):
+        manager = CitationManager(simple_repo)
+        with pytest.raises(CitationFileError):
+            manager.citation_function()
+
+    def test_cite_resolves_from_worktree_and_versions(self, enabled_manager, sample_citation):
+        manager = enabled_manager
+        enabled_commit = manager.repo.head_oid()
+        manager.add_cite("/src/main.py", sample_citation)
+        manager.commit("AddCite main")
+        assert manager.cite("/src/main.py").citation == sample_citation
+        # The previously committed version still resolves to the root citation.
+        assert manager.cite("/src/main.py", ref=enabled_commit).citation.owner == "alice"
+
+    def test_cite_chain(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/src", sample_citation)
+        chain = enabled_manager.cite_chain("/src/main.py")
+        assert [r.source_path for r in chain] == ["/src", "/"]
+
+    def test_gen_cite_and_log_summary(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/docs/guide.md", sample_citation)
+        resolved = enabled_manager.gen_cite("/docs/guide.md")
+        assert resolved.is_explicit
+        summary = enabled_manager.log.summary()
+        assert "AddCite(/docs/guide.md)" in summary
+        oid = enabled_manager.commit()  # default message comes from the log
+        assert "AddCite(/docs/guide.md)" in enabled_manager.repo.store.get_commit(oid).message
+
+    def test_del_and_modify(self, enabled_manager, sample_citation, other_citation):
+        enabled_manager.add_cite("/README.md", sample_citation)
+        enabled_manager.modify_cite("/README.md", other_citation)
+        assert enabled_manager.cite("/README.md").citation == other_citation
+        enabled_manager.del_cite("/README.md")
+        assert not enabled_manager.cite("/README.md").is_explicit
+
+    def test_refresh_root_citation_points_at_head(self, enabled_manager):
+        manager = enabled_manager
+        manager.repo.write_file("/CHANGELOG.md", "v1\n")
+        release = manager.commit("release v1")
+        updated = manager.refresh_root_citation()
+        assert updated.commit_id == release[:7]
+        assert manager.citation_function().root_citation().commit_id == release[:7]
+
+    def test_default_root_citation_fields(self, enabled_manager):
+        citation = enabled_manager.default_root_citation(authors=["X", "Y"], doi="10.1/z")
+        assert citation.url == "https://github.com/alice/demo"
+        assert citation.authors == ("X", "Y")
+        assert citation.doi == "10.1/z"
+
+    def test_citation_file_is_committed_as_side_effect(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/src/main.py", sample_citation)
+        oid = enabled_manager.commit("AddCite")
+        stored = enabled_manager.repo.read_file_at(oid, CITATION_FILE_PATH)
+        assert load_citation_bytes(stored).get_explicit("/src/main.py") == sample_citation
+
+
+class TestFileOperations:
+    def test_move_file_carries_citation(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/src/main.py", sample_citation)
+        enabled_manager.move_file("/src/main.py", "/src/entry.py")
+        assert enabled_manager.cite("/src/entry.py").is_explicit
+        assert enabled_manager.validate().is_consistent
+
+    def test_move_directory_reroots_citations(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/src", sample_citation)
+        enabled_manager.add_cite("/src/util/helpers.py", sample_citation)
+        enabled_manager.move_directory("/src", "/lib")
+        assert enabled_manager.cite("/lib").is_explicit
+        assert enabled_manager.cite("/lib/util/helpers.py").is_explicit
+        assert enabled_manager.validate().is_consistent
+
+    def test_remove_file_drops_citation(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/docs/guide.md", sample_citation)
+        enabled_manager.remove_file("/docs/guide.md")
+        assert "/docs/guide.md" not in enabled_manager.citation_function()
+        assert enabled_manager.validate().is_consistent
+
+    def test_remove_directory_drops_subtree_citations(self, enabled_manager, sample_citation):
+        enabled_manager.add_cite("/src", sample_citation)
+        enabled_manager.add_cite("/src/main.py", sample_citation)
+        enabled_manager.remove_directory("/src")
+        assert enabled_manager.citation_function().active_domain() == ["/"]
+
+    def test_validate_detects_manual_damage(self, enabled_manager, sample_citation):
+        # Bypass the manager (simulating manual edits) to create an orphan entry.
+        enabled_manager.citation_function().put("/ghost.py", sample_citation, False)
+        report = enabled_manager.validate()
+        assert not report.is_consistent
+        enabled_manager.repair()
+        assert enabled_manager.validate().is_consistent
+
+
+class TestCopyCite:
+    @pytest.fixture
+    def source(self, other_citation):
+        repo = Repository.init("corecover", "chenli")
+        repo.write_file("CoreCover/rewrite.py", "rewrite\n")
+        repo.write_file("CoreCover/tests/test_rewrite.py", "test\n")
+        repo.commit("initial")
+        manager = CitationManager(repo)
+        manager.init_citations(other_citation)
+        manager.commit("enable")
+        return repo
+
+    def test_copy_brings_files_and_citations(self, enabled_manager, source, other_citation):
+        outcome = enabled_manager.copy_cite(source, "/CoreCover", "/vendor/CoreCover")
+        assert "/vendor/CoreCover/rewrite.py" in outcome.copied_files
+        assert enabled_manager.repo.file_exists("/vendor/CoreCover/tests/test_rewrite.py")
+        assert enabled_manager.cite("/vendor/CoreCover/rewrite.py").citation == other_citation
+        assert outcome.citation_result.root_citation_added
+        enabled_manager.commit("CopyCite CoreCover")
+        assert enabled_manager.validate().is_consistent
+
+    def test_copy_from_missing_directory_fails(self, enabled_manager, source):
+        with pytest.raises(VCSError):
+            enabled_manager.copy_cite(source, "/Nope", "/vendor/Nope")
+
+    def test_copy_from_uncited_source_copies_files_only(self, enabled_manager):
+        plain = Repository.init("plain", "nobody")
+        plain.write_file("pkg/mod.py", "x\n")
+        plain.commit("c")
+        outcome = enabled_manager.copy_cite(plain, "/pkg", "/third_party/pkg")
+        assert outcome.copied_files == ("/third_party/pkg/mod.py",)
+        assert outcome.citation_result.migrated_count == 0
+
+
+class TestMergeCiteAndForkCite:
+    def _setup_branches(self, manager: CitationManager, sample_citation, other_citation,
+                        conflicting: bool = False):
+        repo = manager.repo
+        repo.create_branch("topic")
+        repo.checkout("topic")
+        manager.reload()
+        repo.write_file("/topic.py", "topic\n")
+        manager.add_cite("/topic.py", other_citation)
+        if conflicting:
+            manager.modify_cite("/", other_citation)
+        manager.commit("topic work", author_name="bob")
+        repo.checkout("main")
+        manager.reload()
+        repo.write_file("/mainline.py", "main\n")
+        manager.add_cite("/mainline.py", sample_citation)
+        manager.commit("main work", author_name="alice")
+
+    def test_merge_unions_citations(self, enabled_manager, sample_citation, other_citation):
+        self._setup_branches(enabled_manager, sample_citation, other_citation)
+        outcome = enabled_manager.merge_cite("topic")
+        function = enabled_manager.citation_function()
+        assert function.get_explicit("/topic.py") == other_citation
+        assert function.get_explicit("/mainline.py") == sample_citation
+        commit = enabled_manager.repo.store.get_commit(outcome.commit_oid)
+        assert len(commit.parent_oids) == 2
+        assert enabled_manager.validate().is_consistent
+
+    def test_merge_conflict_requires_strategy(self, enabled_manager, sample_citation, other_citation):
+        self._setup_branches(enabled_manager, sample_citation, other_citation, conflicting=True)
+        with pytest.raises(CitationConflictError):
+            enabled_manager.merge_cite("topic", strategy=AskUserStrategy())
+
+    def test_merge_conflict_resolved_by_strategy(self, enabled_manager, sample_citation, other_citation):
+        self._setup_branches(enabled_manager, sample_citation, other_citation, conflicting=True)
+        outcome = enabled_manager.merge_cite("topic", strategy=TheirsStrategy())
+        assert outcome.citation_result.auto_resolved_count == 1
+        assert enabled_manager.citation_function().root_citation() == other_citation
+
+    def test_merge_drops_entries_for_files_deleted_by_git_merge(
+        self, enabled_manager, sample_citation, other_citation
+    ):
+        manager = enabled_manager
+        repo = manager.repo
+        manager.add_cite("/docs/guide.md", other_citation)
+        manager.commit("cite the guide")
+        repo.create_branch("cleanup")
+        repo.checkout("cleanup")
+        manager.reload()
+        manager.remove_file("/docs/guide.md")
+        manager.commit("drop the guide")
+        repo.checkout("main")
+        manager.reload()
+        repo.write_file("/untouched.py", "u\n")
+        manager.commit("main keeps going")
+        outcome = manager.merge_cite("cleanup", strategy=NewestStrategy())
+        assert "/docs/guide.md" in outcome.citation_result.dropped_paths
+        assert "/docs/guide.md" not in manager.citation_function()
+        assert manager.validate().is_consistent
+
+    def test_merge_file_conflicts_must_be_resolved(self, enabled_manager, sample_citation, other_citation):
+        manager = enabled_manager
+        repo = manager.repo
+        repo.create_branch("edit")
+        repo.checkout("edit")
+        manager.reload()
+        repo.write_file("/README.md", "# edited on branch\n")
+        manager.commit("branch edit")
+        repo.checkout("main")
+        manager.reload()
+        repo.write_file("/README.md", "# edited on main\n")
+        manager.commit("main edit")
+        with pytest.raises(MergeConflictError) as excinfo:
+            manager.merge_cite("edit")
+        assert excinfo.value.conflicts == ["/README.md"]
+        outcome = manager.merge_cite("edit", file_resolutions={"/README.md": b"# resolved\n"})
+        assert manager.repo.read_file("/README.md") == b"# resolved\n"
+        assert outcome.commit_oid == manager.repo.head_oid()
+
+    def test_merge_already_merged_branch_is_noop(self, enabled_manager, sample_citation, other_citation):
+        self._setup_branches(enabled_manager, sample_citation, other_citation)
+        enabled_manager.merge_cite("topic")
+        head = enabled_manager.repo.head_oid()
+        outcome = enabled_manager.merge_cite("topic")
+        assert outcome.commit_oid == head
+
+    def test_fork_cite_preserves_credit_and_adds_provenance(
+        self, enabled_manager, sample_citation, other_citation
+    ):
+        enabled_manager.add_cite("/src/main.py", other_citation)
+        enabled_manager.commit("cite main")
+        fork_manager = enabled_manager.fork_cite("carol", new_name="demo-fork")
+        assert fork_manager.repo.owner == "carol"
+        root = fork_manager.citation_function().root_citation()
+        assert root.owner == "carol"
+        assert dict(root.extra)["forkedFrom"].startswith("alice/demo@")
+        # Imported content keeps crediting the original authors.
+        assert fork_manager.cite("/src/main.py").citation == other_citation
+        # The original repository is untouched.
+        assert enabled_manager.citation_function().root_citation().owner == "alice"

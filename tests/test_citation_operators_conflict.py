@@ -1,0 +1,177 @@
+"""Unit tests for the citation operators and the conflict-resolution strategies."""
+
+import pytest
+
+from repro.errors import CitationError, CitationExistsError, CitationNotFoundError, ConsistencyError
+from repro.citation.conflict import (
+    AskUserStrategy,
+    CitationConflict,
+    FieldMergeStrategy,
+    NewestStrategy,
+    OursStrategy,
+    TheirsStrategy,
+    ThreeWayStrategy,
+    available_strategies,
+    strategy_by_name,
+)
+from repro.citation.function import CitationFunction
+from repro.citation.operators import (
+    AddCite,
+    DelCite,
+    GenCite,
+    ModifyCite,
+    OperationLog,
+    apply_operation,
+    apply_operations,
+)
+
+
+@pytest.fixture
+def function(sample_citation):
+    return CitationFunction.with_root(sample_citation)
+
+
+class TestOperators:
+    def test_addcite_attaches(self, function, other_citation):
+        result = apply_operation(function, AddCite(path="/f1.py", citation=other_citation))
+        assert result.changed
+        assert function.resolve("/f1.py").is_explicit
+
+    def test_addcite_on_cited_path_fails(self, function, other_citation):
+        apply_operation(function, AddCite(path="/f1.py", citation=other_citation))
+        with pytest.raises(CitationExistsError):
+            apply_operation(function, AddCite(path="/f1.py", citation=other_citation))
+
+    def test_modifycite_replaces(self, function, other_citation, sample_citation):
+        apply_operation(function, AddCite(path="/f1.py", citation=other_citation))
+        apply_operation(function, ModifyCite(path="/f1.py", citation=sample_citation))
+        assert function.get_explicit("/f1.py") == sample_citation
+
+    def test_modifycite_requires_existing(self, function, other_citation):
+        with pytest.raises(CitationNotFoundError):
+            apply_operation(function, ModifyCite(path="/nope.py", citation=other_citation))
+
+    def test_delcite_removes(self, function, other_citation):
+        apply_operation(function, AddCite(path="/f1.py", citation=other_citation))
+        apply_operation(function, DelCite(path="/f1.py"))
+        assert function.get_explicit("/f1.py") is None
+
+    def test_delcite_on_root_protected(self, function):
+        with pytest.raises(ConsistencyError):
+            apply_operation(function, DelCite(path="/"))
+
+    def test_gencite_is_read_only(self, function, sample_citation):
+        result = apply_operation(function, GenCite(path="/anything/inside.py"))
+        assert not result.changed
+        assert result.resolved.citation == sample_citation
+        assert len(function) == 1
+
+    def test_apply_operations_sequence(self, function, other_citation):
+        results = apply_operations(
+            function,
+            [
+                AddCite(path="/a.py", citation=other_citation),
+                GenCite(path="/a.py"),
+                DelCite(path="/a.py"),
+            ],
+        )
+        assert [r.changed for r in results] == [True, False, True]
+
+    def test_unknown_operation_rejected(self, function):
+        with pytest.raises(CitationError):
+            apply_operation(function, object())  # type: ignore[arg-type]
+
+    def test_describe_and_kind(self):
+        assert AddCite(path="x.py", citation=None).kind == "AddCite"  # type: ignore[arg-type]
+        assert "DelCite(/x.py)" == DelCite(path="x.py").describe()
+
+
+class TestOperationLog:
+    def test_summary_lists_mutating_operations_only(self, function, other_citation):
+        log = OperationLog()
+        log.record(apply_operation(function, AddCite(path="/a.py", citation=other_citation)))
+        log.record(apply_operation(function, GenCite(path="/a.py")))
+        log.record(apply_operation(function, DelCite(path="/a.py")))
+        assert len(log) == 3
+        assert len(log.mutating()) == 2
+        summary = log.summary()
+        assert "AddCite(/a.py)" in summary and "DelCite(/a.py)" in summary
+        assert "GenCite" not in summary
+
+    def test_empty_log_summary(self):
+        assert OperationLog().summary() == "No citation changes"
+
+    def test_clear(self, function, other_citation):
+        log = OperationLog()
+        log.record(apply_operation(function, AddCite(path="/a.py", citation=other_citation)))
+        log.clear()
+        assert len(log) == 0
+
+
+@pytest.fixture
+def conflict(sample_citation, other_citation) -> CitationConflict:
+    return CitationConflict(path="/shared.py", ours=sample_citation, theirs=other_citation)
+
+
+class TestStrategies:
+    def test_ours_and_theirs(self, conflict, sample_citation, other_citation):
+        assert OursStrategy().resolve(conflict).citation == sample_citation
+        assert TheirsStrategy().resolve(conflict).citation == other_citation
+
+    def test_newest_picks_latest_committed_date(self, conflict, sample_citation):
+        # sample (2018-09) is newer than other (2018-03): ours wins here.
+        assert NewestStrategy().resolve(conflict).citation == sample_citation
+        flipped = CitationConflict(path="/x", ours=conflict.theirs, theirs=conflict.ours)
+        assert NewestStrategy().resolve(flipped).citation == sample_citation
+
+    def test_ask_without_chooser_leaves_unresolved(self, conflict):
+        resolution = AskUserStrategy().resolve(conflict)
+        assert not resolution.resolved and resolution.citation is None
+
+    def test_ask_with_chooser(self, conflict, other_citation):
+        strategy = AskUserStrategy(chooser=lambda c: c.theirs)
+        resolution = strategy.resolve(conflict)
+        assert resolution.resolved and resolution.citation == other_citation
+
+    def test_three_way_auto_resolves_one_sided_change(self, sample_citation, other_citation):
+        base = sample_citation
+        changed = CitationConflict(path="/x", ours=base, theirs=other_citation, base=base)
+        resolution = ThreeWayStrategy().resolve(changed)
+        assert resolution.resolved and resolution.citation == other_citation
+        mirrored = CitationConflict(path="/x", ours=other_citation, theirs=base, base=base)
+        assert ThreeWayStrategy().resolve(mirrored).citation == other_citation
+
+    def test_three_way_falls_back_when_both_changed(self, sample_citation, other_citation):
+        base = sample_citation.with_changes(title="the base")
+        conflict = CitationConflict(path="/x", ours=sample_citation, theirs=other_citation, base=base)
+        resolution = ThreeWayStrategy(fallback=OursStrategy()).resolve(conflict)
+        assert resolution.resolved and resolution.citation == sample_citation
+        assert resolution.strategy_name == "three-way+ours"
+        unresolved = ThreeWayStrategy().resolve(conflict)
+        assert not unresolved.resolved
+
+    def test_field_merge_unions_authors_for_same_version(self, sample_citation):
+        ours = sample_citation.with_changes(authors=("A", "B"))
+        theirs = sample_citation.with_changes(authors=("B", "C"), doi="10.5281/zenodo.9")
+        conflict = CitationConflict(path="/x", ours=ours, theirs=theirs)
+        resolution = FieldMergeStrategy().resolve(conflict)
+        assert resolution.citation.authors == ("A", "B", "C")
+        assert resolution.citation.doi == "10.5281/zenodo.9"
+
+    def test_field_merge_falls_back_to_newest_for_different_versions(self, conflict, sample_citation):
+        resolution = FieldMergeStrategy().resolve(conflict)
+        assert resolution.resolved and resolution.citation == sample_citation
+
+    def test_both_changed_property(self, sample_citation, other_citation):
+        no_base = CitationConflict(path="/x", ours=sample_citation, theirs=other_citation)
+        assert no_base.both_changed
+        with_base = CitationConflict(
+            path="/x", ours=sample_citation, theirs=other_citation, base=sample_citation
+        )
+        assert not with_base.both_changed
+
+    def test_registry(self):
+        assert set(available_strategies()) == {"ask", "ours", "theirs", "newest", "three-way", "field-merge"}
+        assert isinstance(strategy_by_name("newest"), NewestStrategy)
+        with pytest.raises(CitationError):
+            strategy_by_name("majority-vote")

@@ -1,0 +1,183 @@
+"""Tests for the bibliographic formatters and the archive simulators."""
+
+import json
+
+import pytest
+
+from repro.errors import ArchiveError, DepositError, FormatError
+from repro.archive.swhid import (
+    content_swhid,
+    directory_swhid,
+    revision_swhid,
+    snapshot_swhid,
+    swhid_for_path,
+)
+from repro.archive.zenodo import ZenodoSimulator
+from repro.formats import available_formats, render
+from repro.formats.apa import format_author_list, render_apa
+from repro.formats.bibtex import bibtex_key, render_bibtex
+from repro.formats.cff import parse_author_name, render_cff
+from repro.formats.datacite import datacite_payload
+from repro.formats.ris import render_ris
+
+
+class TestBibtex:
+    def test_software_entry_fields(self, sample_citation):
+        entry = render_bibtex(sample_citation)
+        assert entry.startswith("@software{")
+        assert "author = {Yinjun Wu}" in entry
+        assert "year = {2018}" in entry
+        assert "url = {https://github.com/thuwuyinjun/Data_citation_demo}" in entry
+        assert "Commit bbd248a" in entry
+
+    def test_key_is_stable_and_sanitised(self, sample_citation):
+        assert bibtex_key(sample_citation) == bibtex_key(sample_citation)
+        assert " " not in bibtex_key(sample_citation)
+
+    def test_cited_path_recorded_in_note(self, sample_citation):
+        assert "cited path /CoreCover" in render_bibtex(sample_citation, cited_path="/CoreCover")
+        assert "cited path" not in render_bibtex(sample_citation, cited_path="/")
+
+    def test_special_characters_escaped(self, sample_citation):
+        weird = sample_citation.with_changes(title="100% of {braces} & ampersands")
+        entry = render_bibtex(weird)
+        assert r"\%" in entry and r"\{" in entry and r"\&" in entry
+
+    def test_multiple_authors_joined_with_and(self, sample_citation):
+        entry = render_bibtex(sample_citation.with_changes(authors=("A One", "B Two")))
+        assert "A One and B Two" in entry
+
+
+class TestCff:
+    def test_author_name_splitting(self):
+        assert parse_author_name("Susan B. Davidson") == ("Susan B.", "Davidson")
+        assert parse_author_name("Yanssie") == ("", "Yanssie")
+        assert parse_author_name("") == ("", "")
+
+    def test_document_structure(self, sample_citation):
+        doc = render_cff(sample_citation.with_changes(doi="10.5281/zenodo.42", license="MIT"))
+        assert doc.startswith("cff-version:")
+        assert 'family-names: "Wu"' in doc
+        assert 'commit: "bbd248a"' in doc
+        assert 'doi: "10.5281/zenodo.42"' in doc
+        assert 'license: "MIT"' in doc
+
+    def test_swhid_identifier_block(self, sample_citation):
+        doc = render_cff(sample_citation.with_changes(swhid="swh:1:dir:" + "0" * 40))
+        assert "identifiers:" in doc and "type: swh" in doc
+
+    def test_cited_path_note(self, sample_citation):
+        assert "path /src" in render_cff(sample_citation, cited_path="/src")
+
+
+class TestOtherFormats:
+    def test_ris_record(self, sample_citation):
+        record = render_ris(sample_citation)
+        assert record.startswith("TY  - COMP")
+        assert "AU  - Yinjun Wu" in record
+        assert record.rstrip().endswith("ER  -")
+
+    def test_apa_author_list(self):
+        assert format_author_list(("Leshang Chen", "Susan B. Davidson")) == "Chen, L., & Davidson, S. B."
+        assert format_author_list(("Solo Author",)) == "Author, S."
+
+    def test_apa_line(self, sample_citation):
+        line = render_apa(sample_citation)
+        assert "Wu, Y." in line and "[Computer software]" in line and "2018" in line
+
+    def test_datacite_payload(self, sample_citation):
+        payload = datacite_payload(sample_citation.with_changes(doi="10.5281/zenodo.7"))
+        assert payload["types"]["resourceTypeGeneral"] == "Software"
+        assert payload["publicationYear"] == 2018
+        assert {"identifier": "10.5281/zenodo.7", "identifierType": "DOI"} in payload["identifiers"]
+
+    def test_registry_dispatch_and_errors(self, sample_citation):
+        assert set(available_formats()) >= {"bibtex", "cff", "ris", "apa", "datacite", "text", "json"}
+        assert render(sample_citation, "text").strip() == str(sample_citation)
+        assert json.loads(render(sample_citation, "json"))["commitID"] == "bbd248a"
+        with pytest.raises(FormatError):
+            render(sample_citation, "marc21")
+
+    def test_every_registered_format_renders_nonempty(self, sample_citation):
+        for name in available_formats():
+            assert render(sample_citation, name).strip()
+
+
+class TestSwhid:
+    def test_identifiers_for_every_artifact_kind(self, simple_repo):
+        repo = simple_repo
+        head = repo.head_oid()
+        tree = repo.store.get_commit(head).tree_oid
+        assert revision_swhid(repo.store, head) == f"swh:1:rev:{head}"
+        assert directory_swhid(repo.store, tree) == f"swh:1:dir:{tree}"
+        blob_oid = repo.store.get_tree(tree).entry("README.md").oid
+        assert content_swhid(repo.store, blob_oid).startswith("swh:1:cnt:")
+        assert snapshot_swhid(repo).startswith("swh:1:snp:")
+
+    def test_swhid_for_path_dispatches_on_kind(self, simple_repo):
+        assert swhid_for_path(simple_repo, "HEAD", "/src").startswith("swh:1:dir:")
+        assert swhid_for_path(simple_repo, "HEAD", "/src/main.py").startswith("swh:1:cnt:")
+        assert swhid_for_path(simple_repo, "HEAD", "/").startswith("swh:1:dir:")
+        with pytest.raises(ArchiveError):
+            swhid_for_path(simple_repo, "HEAD", "/missing")
+
+    def test_identifiers_are_intrinsic(self, simple_repo):
+        """The same content gets the same identifier, even in a different repository."""
+        from repro.vcs.remote import fork_repository
+
+        fork = fork_repository(simple_repo, "someone-else")
+        assert swhid_for_path(fork, "HEAD", "/src") == swhid_for_path(simple_repo, "HEAD", "/src")
+
+    def test_snapshot_changes_when_branches_move(self, simple_repo):
+        before = snapshot_swhid(simple_repo)
+        simple_repo.write_file("/new.txt", "n")
+        simple_repo.commit("advance")
+        assert snapshot_swhid(simple_repo) != before
+
+
+class TestZenodo:
+    def test_deposit_publish_and_resolve(self, sample_citation):
+        zenodo = ZenodoSimulator()
+        deposit = zenodo.create_deposit(sample_citation, files={"archive.zip": b"bytes"})
+        assert not deposit.published
+        published = zenodo.publish(deposit.deposit_id)
+        assert published.doi.startswith("10.5281/zenodo.")
+        assert zenodo.resolve_doi(published.doi) is published
+        with pytest.raises(DepositError):
+            zenodo.publish(deposit.deposit_id)  # already published
+
+    def test_publish_requires_files(self, sample_citation):
+        zenodo = ZenodoSimulator()
+        deposit = zenodo.create_deposit(sample_citation)
+        with pytest.raises(DepositError):
+            zenodo.publish(deposit.deposit_id)
+        zenodo.upload_file(deposit.deposit_id, "code.tar", b"data")
+        assert zenodo.publish(deposit.deposit_id).published
+
+    def test_versions_share_a_concept_doi(self, sample_citation):
+        zenodo = ZenodoSimulator()
+        first = zenodo.publish(
+            zenodo.create_deposit(sample_citation.with_changes(version="v1"), files={"a": b"1"}).deposit_id
+        )
+        second = zenodo.publish(
+            zenodo.create_deposit(sample_citation.with_changes(version="v2"), files={"a": b"2"}).deposit_id
+        )
+        assert first.concept_doi == second.concept_doi
+        assert first.doi != second.doi
+        assert [d.version_label for d in zenodo.versions_of(first.concept_doi)] == ["v1", "v2"]
+
+    def test_unknown_deposit_and_doi(self, sample_citation):
+        zenodo = ZenodoSimulator()
+        with pytest.raises(DepositError):
+            zenodo.get_deposit(42)
+        with pytest.raises(DepositError):
+            zenodo.resolve_doi("10.5281/zenodo.404")
+
+    def test_publish_release_feeds_doi_back_into_root_citation(self, enabled_manager):
+        zenodo = ZenodoSimulator()
+        deposit, updated_root = zenodo.publish_release(enabled_manager, version_label="v1.0")
+        assert deposit.published and deposit.files  # the release files were archived
+        assert updated_root.doi == deposit.doi
+        assert enabled_manager.citation_function().root_citation().doi == deposit.doi
+        enabled_manager.commit("record DOI")
+        assert enabled_manager.cite("/src/main.py").citation.doi == deposit.doi

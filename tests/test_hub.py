@@ -1,0 +1,252 @@
+"""Unit tests for the hosting-platform simulator (models, auth, rate limits, server, API)."""
+
+import base64
+import json
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    NotFoundError,
+    PermissionDeniedError,
+    RateLimitExceededError,
+    ValidationError,
+)
+from repro.citation.citefile import CITATION_FILE_PATH
+from repro.hub.api import RestApi
+from repro.hub.models import Permission
+from repro.hub.ratelimit import RateLimiter
+from repro.hub.server import HostingPlatform
+from repro.vcs.remote import clone_repository
+from repro.vcs.repository import Repository
+
+
+@pytest.fixture
+def platform(enabled_manager) -> HostingPlatform:
+    """A platform hosting the enabled demo repository plus two users."""
+    platform = HostingPlatform()
+    platform.register_user("alice", name="Alice Smith")
+    platform.register_user("bob", name="Bob Jones")
+    platform.host_repository(enabled_manager.repo)
+    return platform
+
+
+@pytest.fixture
+def alice_token(platform) -> str:
+    return platform.issue_token("alice").value
+
+
+@pytest.fixture
+def bob_token(platform) -> str:
+    return platform.issue_token("bob").value
+
+
+class TestUsersAndTokens:
+    def test_register_and_lookup(self, platform):
+        assert platform.get_user("alice").name == "Alice Smith"
+        with pytest.raises(NotFoundError):
+            platform.get_user("nobody")
+
+    def test_duplicate_login_rejected(self, platform):
+        with pytest.raises(ValidationError):
+            platform.register_user("alice")
+
+    def test_illegal_login_rejected(self, platform):
+        with pytest.raises(ValidationError):
+            platform.register_user("has space")
+
+    def test_token_authentication(self, platform, alice_token):
+        token = platform.tokens.authenticate(alice_token)
+        assert token.login == "alice"
+        assert platform.tokens.authenticate(None) is None
+        with pytest.raises(AuthenticationError):
+            platform.tokens.authenticate("ghs_bogus")
+
+    def test_token_revocation(self, platform, alice_token):
+        platform.tokens.revoke(alice_token)
+        with pytest.raises(AuthenticationError):
+            platform.tokens.authenticate(alice_token)
+
+    def test_tokens_are_unique_per_issuance(self, platform):
+        first = platform.issue_token("alice").value
+        second = platform.issue_token("alice").value
+        assert first != second
+        assert len(platform.tokens.tokens_for("alice")) >= 2
+
+
+class TestPermissions:
+    def test_owner_is_admin(self, platform):
+        assert platform.permission_for("alice/demo", None) == Permission.READ
+        token = platform.issue_token("alice").value
+        assert platform.permission_for("alice/demo", token) == Permission.ADMIN
+
+    def test_collaborator_gets_write(self, platform, bob_token):
+        assert platform.permission_for("alice/demo", bob_token) == Permission.READ
+        platform.add_collaborator("alice/demo", "bob", "write")
+        assert platform.permission_for("alice/demo", bob_token) == Permission.WRITE
+        hosted = platform.get_repository("alice/demo")
+        assert hosted.is_member("bob") and not hosted.is_member("stranger")
+
+    def test_private_repo_hidden_from_outsiders(self, platform, bob_token, alice_token):
+        platform.create_repository("alice", "secret", private=True)
+        with pytest.raises(NotFoundError):
+            platform.get_repository("alice/secret", token=bob_token)
+        assert platform.get_repository("alice/secret", token=alice_token).private
+
+    def test_write_requires_membership(self, platform, bob_token):
+        with pytest.raises(PermissionDeniedError):
+            platform.put_file("alice/demo", "/new.txt", b"x", message="add", token=bob_token)
+
+    def test_anonymous_write_rejected(self, platform):
+        with pytest.raises(AuthenticationError):
+            platform.put_file("alice/demo", "/new.txt", b"x", message="add", token=None)
+
+
+class TestRepositoryOperations:
+    def test_create_and_list(self, platform):
+        platform.create_repository("bob", "toolbox", description="bits")
+        assert [r.name for r in platform.list_repositories("bob")] == ["toolbox"]
+        assert len(platform.list_repositories()) == 2
+
+    def test_get_file_and_tree(self, platform):
+        data = platform.get_file("alice/demo", "/README.md")
+        assert data == b"# demo\n"
+        listing = platform.list_tree("alice/demo")
+        paths = {entry["path"] for entry in listing}
+        assert "/src/main.py" in paths and "/src" in paths
+        assert platform.path_exists("alice/demo", CITATION_FILE_PATH)
+        with pytest.raises(NotFoundError):
+            platform.get_file("alice/demo", "/missing.txt")
+
+    def test_put_file_commits_on_branch(self, platform, alice_token):
+        oid = platform.put_file(
+            "alice/demo", "/docs/new.md", b"new\n", message="add doc", token=alice_token
+        )
+        hosted = platform.get_repository("alice/demo")
+        assert hosted.repo.head_oid() == oid
+        assert hosted.repo.read_file("/docs/new.md") == b"new\n"
+        with pytest.raises(NotFoundError):
+            platform.put_file("alice/demo", "/x", b"", message="m", token=alice_token, branch="nope")
+
+    def test_delete_file(self, platform, alice_token):
+        platform.delete_file("alice/demo", "/docs/guide.md", message="drop", token=alice_token)
+        assert not platform.get_repository("alice/demo").repo.file_exists("/docs/guide.md")
+        with pytest.raises(NotFoundError):
+            platform.delete_file("alice/demo", "/docs/guide.md", message="again", token=alice_token)
+
+    def test_fork_copies_history_to_new_owner(self, platform, bob_token):
+        hosted = platform.fork("alice/demo", token=bob_token)
+        assert hosted.full_name == "bob/demo"
+        assert hosted.forked_from == "alice/demo"
+        assert hosted.repo.head_oid() == platform.get_repository("alice/demo").repo.head_oid()
+
+    def test_clone_and_push_round_trip(self, platform, alice_token):
+        local = platform.clone("alice/demo")
+        local.write_file("/pushed.txt", "pushed\n")
+        tip = local.commit("local work")
+        assert platform.receive_push("alice/demo", alice_token, local) == tip
+        assert platform.get_repository("alice/demo").repo.file_exists("/pushed.txt")
+
+    def test_push_requires_write(self, platform, bob_token):
+        local = platform.clone("alice/demo")
+        local.write_file("/x.txt", "x")
+        local.commit("work")
+        with pytest.raises(PermissionDeniedError):
+            platform.receive_push("alice/demo", bob_token, local)
+
+    def test_commits_listing(self, platform):
+        commits = platform.commits("alice/demo", limit=1)
+        assert len(commits) == 1
+        assert "message" in commits[0]["commit"]
+
+
+class TestRateLimiter:
+    def test_quota_enforced(self):
+        limiter = RateLimiter(authenticated_limit=2, anonymous_limit=1)
+        limiter.check("alice")
+        limiter.check("alice")
+        with pytest.raises(RateLimitExceededError):
+            limiter.check("alice")
+        with pytest.raises(RateLimitExceededError):
+            (limiter.check(None), limiter.check(None))
+
+    def test_reset_and_status(self):
+        limiter = RateLimiter(authenticated_limit=5)
+        limiter.check("alice")
+        assert limiter.status("alice").used == 1
+        limiter.reset("alice")
+        assert limiter.status("alice").remaining == 5
+        limiter.check("bob")
+        limiter.reset()
+        assert limiter.status("bob").used == 0
+
+    def test_can_be_disabled(self):
+        limiter = RateLimiter(authenticated_limit=1, enabled=False)
+        for _ in range(5):
+            limiter.check("alice")
+
+
+class TestRestApi:
+    @pytest.fixture
+    def api(self, platform) -> RestApi:
+        return RestApi(platform)
+
+    def test_get_user(self, api, alice_token):
+        response = api.get("/user", token=alice_token)
+        assert response.ok and response.json["login"] == "alice"
+
+    def test_get_repo_and_404(self, api):
+        assert api.get("/repos/alice/demo").json["full_name"] == "alice/demo"
+        assert api.get("/repos/alice/none").status == 404
+        assert api.get("/definitely/not/an/endpoint").status == 404
+
+    def test_contents_get_decodes_to_original(self, api):
+        response = api.get("/repos/alice/demo/contents/README.md")
+        assert response.ok
+        assert base64.b64decode(response.json["content"]) == b"# demo\n"
+
+    def test_contents_put_requires_auth_and_payload(self, api, alice_token, bob_token):
+        payload = {
+            "message": "update readme",
+            "content": base64.b64encode(b"# updated\n").decode(),
+        }
+        assert api.put("/repos/alice/demo/contents/README.md", payload, token=bob_token).status == 403
+        assert api.put("/repos/alice/demo/contents/README.md", {"message": "x"}, token=alice_token).status == 422
+        response = api.put("/repos/alice/demo/contents/README.md", payload, token=alice_token)
+        assert response.status == 201
+        assert base64.b64decode(
+            api.get("/repos/alice/demo/contents/README.md").json["content"]
+        ) == b"# updated\n"
+
+    def test_contents_delete(self, api, alice_token):
+        response = api.delete(
+            "/repos/alice/demo/contents/docs/guide.md", {"message": "drop"}, token=alice_token
+        )
+        assert response.ok
+        assert api.get("/repos/alice/demo/contents/docs/guide.md").status == 404
+
+    def test_permission_endpoint(self, api, platform):
+        platform.add_collaborator("alice/demo", "bob", "write")
+        response = api.get("/repos/alice/demo/collaborators/bob/permission")
+        assert response.json["permission"] == "write"
+        assert api.get("/repos/alice/demo/collaborators/alice/permission").json["permission"] == "admin"
+
+    def test_branches_commits_tree_fork(self, api, bob_token):
+        assert api.get("/repos/alice/demo/branches").json[0]["name"] == "main"
+        assert api.get("/repos/alice/demo/commits?per_page=1").ok
+        assert any(e["path"] == "/src" for e in api.get("/repos/alice/demo/git/trees/main").json["tree"])
+        fork = api.post("/repos/alice/demo/forks", token=bob_token)
+        assert fork.status == 201 and fork.json["full_name"] == "bob/demo"
+
+    def test_rate_limit_endpoint_and_enforcement(self, platform, alice_token):
+        platform.rate_limiter = RateLimiter(authenticated_limit=2)
+        api = RestApi(platform)
+        assert api.get("/repos/alice/demo", token=alice_token).ok
+        assert api.get("/repos/alice/demo", token=alice_token).ok
+        assert api.get("/repos/alice/demo", token=alice_token).status == 429
+        # /rate_limit itself is never counted.
+        status = api.get("/rate_limit", token=alice_token)
+        assert status.ok and status.json["resources"]["core"]["remaining"] == 0
+
+    def test_invalid_token_is_401(self, api):
+        assert api.get("/repos/alice/demo", token="ghs_wrong").status == 401

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+Four families of invariants are checked:
+
+* path algebra (normalisation idempotence, ancestor ordering, prefix rewriting);
+* citation functions (totality of ``Cite``, closest-ancestor semantics,
+  serialisation round-trips, rename bijectivity);
+* MergeCite (union semantics, totality of the merged function, conflict
+  detection completeness, commutativity modulo conflict choice);
+* the VCS substrate (content addressing, commit snapshot fidelity).
+"""
+
+from __future__ import annotations
+
+import string
+from datetime import datetime, timezone
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.citation.citefile import dumps_citation_file, loads_citation_file
+from repro.citation.conflict import OursStrategy, TheirsStrategy
+from repro.citation.function import CitationFunction
+from repro.citation.merge import merge_citation_functions
+from repro.citation.record import Citation
+from repro.utils.paths import ROOT, ancestors, is_ancestor, join_path, normalize_path, rewrite_prefix
+from repro.vcs.objects import Blob
+from repro.vcs.repository import Repository
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_component = st.text(alphabet=string.ascii_lowercase + string.digits + "_-", min_size=1, max_size=8)
+
+paths = st.lists(_component, min_size=0, max_size=5).map(lambda parts: "/" + "/".join(parts))
+
+nonroot_paths = st.lists(_component, min_size=1, max_size=5).map(lambda parts: "/" + "/".join(parts))
+
+
+@st.composite
+def citations(draw) -> Citation:
+    owner = draw(_component)
+    return Citation(
+        repo_name=draw(_component),
+        owner=owner,
+        committed_date=datetime(2018, 1, 1, tzinfo=timezone.utc).replace(
+            month=draw(st.integers(1, 12)), day=draw(st.integers(1, 28))
+        ),
+        commit_id=f"{draw(st.integers(0, 16**7 - 1)):07x}",
+        url=f"https://example.org/{owner}",
+        authors=tuple(draw(st.lists(_component, min_size=0, max_size=3))),
+        title=draw(st.one_of(st.none(), _component)),
+    )
+
+
+@st.composite
+def citation_functions(draw) -> CitationFunction:
+    function = CitationFunction.with_root(draw(citations()))
+    for path in draw(st.lists(nonroot_paths, max_size=6, unique=True)):
+        function.put(path, draw(citations()), draw(st.booleans()))
+    return function
+
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Path algebra
+# ---------------------------------------------------------------------------
+
+
+class TestPathProperties:
+    @given(paths)
+    @SETTINGS
+    def test_normalisation_is_idempotent(self, path):
+        assert normalize_path(normalize_path(path)) == normalize_path(path)
+
+    @given(paths)
+    @SETTINGS
+    def test_every_ancestor_is_an_ancestor(self, path):
+        for ancestor in ancestors(path):
+            assert is_ancestor(ancestor, path) or ancestor == normalize_path(path)
+
+    @given(paths)
+    @SETTINGS
+    def test_ancestor_chain_ends_at_root_and_shrinks(self, path):
+        chain = ancestors(path, include_self=True)
+        assert chain[-1] == ROOT
+        depths = [p.count("/") if p != ROOT else 0 for p in chain]
+        assert depths == sorted(depths, reverse=True)
+
+    @given(nonroot_paths, nonroot_paths)
+    @SETTINGS
+    def test_join_then_relative_round_trips(self, base, suffix):
+        joined = join_path(base, suffix.lstrip("/"))
+        assert is_ancestor(normalize_path(base), joined, strict=False)
+
+    @given(nonroot_paths, nonroot_paths, nonroot_paths)
+    @SETTINGS
+    def test_rewrite_prefix_preserves_suffix(self, prefix, new_prefix, suffix):
+        path = join_path(prefix, suffix.lstrip("/"))
+        rewritten = rewrite_prefix(path, prefix, new_prefix)
+        assert is_ancestor(normalize_path(new_prefix), rewritten, strict=False)
+        assert rewritten.endswith(suffix if suffix != "/" else "")
+
+
+# ---------------------------------------------------------------------------
+# Citation functions
+# ---------------------------------------------------------------------------
+
+
+class TestCitationFunctionProperties:
+    @given(citation_functions(), paths)
+    @SETTINGS
+    def test_cite_is_total_when_root_is_present(self, function, path):
+        resolved = function.resolve(path)
+        assert resolved.citation is not None
+        assert resolved.source_path in function.active_domain()
+
+    @given(citation_functions(), paths)
+    @SETTINGS
+    def test_resolution_source_is_the_closest_cited_ancestor(self, function, path):
+        resolved = function.resolve(path)
+        canonical = normalize_path(path)
+        for candidate in ancestors(canonical, include_self=True):
+            if candidate == resolved.source_path:
+                break
+            # No strictly closer ancestor may carry an explicit citation.
+            assert candidate not in function.active_domain()
+
+    @given(citation_functions())
+    @SETTINGS
+    def test_citefile_round_trip(self, function):
+        assert loads_citation_file(dumps_citation_file(function)) == function
+
+    @given(citation_functions())
+    @SETTINGS
+    def test_serialisation_is_deterministic(self, function):
+        assert dumps_citation_file(function) == dumps_citation_file(function.copy())
+
+    @given(citation_functions(), nonroot_paths, nonroot_paths)
+    @SETTINGS
+    def test_rename_prefix_preserves_entry_count_and_resolutions(self, function, old, new):
+        if normalize_path(old) == normalize_path(new):
+            return
+        if is_ancestor(normalize_path(old), normalize_path(new), strict=False) or is_ancestor(
+            normalize_path(new), normalize_path(old), strict=False
+        ):
+            return
+        # Any entry already under `new` would collide after the move; skip those cases.
+        if any(
+            is_ancestor(normalize_path(new), e, strict=False)
+            for e in function.active_domain()
+        ):
+            return
+        before_count = len(function)
+        explicit_before = {
+            path: function.get_explicit(path)
+            for path in function.active_domain()
+            if is_ancestor(normalize_path(old), path, strict=False)
+        }
+        moves = function.rename_prefix(old, new)
+        assert len(function) == before_count
+        assert set(moves) == set(explicit_before)
+        for moved_from, moved_to in moves.items():
+            assert moved_to.startswith(normalize_path(new))
+            # Each moved entry keeps its citation value at the re-rooted key.
+            assert function.get_explicit(moved_to) == explicit_before[moved_from]
+            assert moved_from not in function
+
+    @given(citations(), paths)
+    @SETTINGS
+    def test_root_only_function_resolves_everything_to_root(self, citation, path):
+        function = CitationFunction.with_root(citation)
+        assert function.resolve(path).citation == citation
+
+
+# ---------------------------------------------------------------------------
+# MergeCite
+# ---------------------------------------------------------------------------
+
+
+class TestMergeProperties:
+    @given(citation_functions(), citation_functions())
+    @SETTINGS
+    def test_merged_domain_is_the_union(self, ours, theirs):
+        result = merge_citation_functions(ours, theirs, strategy=OursStrategy())
+        merged_domain = set(result.function.active_domain())
+        assert merged_domain == set(ours.active_domain()) | set(theirs.active_domain())
+
+    @given(citation_functions(), citation_functions(), paths)
+    @SETTINGS
+    def test_merged_function_is_total(self, ours, theirs, probe):
+        result = merge_citation_functions(ours, theirs, strategy=TheirsStrategy())
+        assert result.function.resolve(probe).citation is not None
+
+    @given(citation_functions(), citation_functions())
+    @SETTINGS
+    def test_conflicts_are_exactly_the_disagreeing_shared_keys(self, ours, theirs):
+        result = merge_citation_functions(ours, theirs, strategy=OursStrategy())
+        expected = {
+            path
+            for path in set(ours.active_domain()) & set(theirs.active_domain())
+            if ours.get_explicit(path) != theirs.get_explicit(path)
+        }
+        assert set(result.conflict_paths) == expected
+
+    @given(citation_functions(), citation_functions())
+    @SETTINGS
+    def test_merge_is_commutative_up_to_conflict_choice(self, ours, theirs):
+        forward = merge_citation_functions(ours, theirs, strategy=OursStrategy())
+        backward = merge_citation_functions(theirs, ours, strategy=TheirsStrategy())
+        # "ours" in the forward direction and "theirs" in the backward direction
+        # pick the same side of every conflict, so the results must agree.
+        assert forward.function == backward.function
+
+    @given(citation_functions())
+    @SETTINGS
+    def test_merge_with_self_is_identity_and_conflict_free(self, function):
+        result = merge_citation_functions(function, function.copy())
+        assert result.function == function
+        assert not result.conflicts
+
+
+# ---------------------------------------------------------------------------
+# VCS substrate
+# ---------------------------------------------------------------------------
+
+
+class TestVCSProperties:
+    @given(st.binary(max_size=256))
+    @SETTINGS
+    def test_blob_ids_are_content_addressed(self, data):
+        assert Blob(data).oid == Blob(bytes(data)).oid
+        assert Blob.deserialize(Blob(data).serialize()).data == data
+
+    @given(
+        st.dictionaries(
+            nonroot_paths,
+            st.text(alphabet=string.printable, max_size=60),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @SETTINGS
+    def test_commit_snapshot_round_trips_the_worktree(self, files):
+        repo = Repository.init("prop", "tester")
+        written = {}
+        for path, content in files.items():
+            try:
+                written[repo.write_file(path, content)] = content.encode("utf-8")
+            except Exception:
+                # Paths that conflict (file vs directory) are legitimately rejected.
+                continue
+        if not written:
+            return
+        oid = repo.commit("snapshot")
+        assert repo.snapshot(oid) == written
+
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=6))
+    @SETTINGS
+    def test_history_lengths_match_commit_count(self, payloads):
+        repo = Repository.init("hist", "tester")
+        count = 0
+        for index, payload in enumerate(payloads):
+            repo.write_file(f"file_{index}.bin", payload + bytes([index]))
+            repo.commit(f"commit {index}")
+            count += 1
+        assert len(repo.log()) == count

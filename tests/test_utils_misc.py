@@ -1,0 +1,85 @@
+"""Unit tests for hashing, timestamps and canonical JSON helpers."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.utils.hashing import object_id, sha1_hex, short_id
+from repro.utils.jsonutil import canonical_dump_bytes, canonical_dumps, pretty_dumps, stable_loads
+from repro.utils.timeutil import (
+    FixedClock,
+    format_timestamp,
+    now_utc,
+    parse_timestamp,
+    reset_clock,
+    set_clock,
+)
+
+
+class TestHashing:
+    def test_sha1_known_vector(self):
+        assert sha1_hex(b"") == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_object_id_matches_git_blob_hash(self):
+        # `git hash-object` of a file containing "hello\n" is this well-known id.
+        assert object_id("blob", b"hello\n") == "ce013625030ba8dba906f756967f9e9ca394464a"
+
+    def test_object_id_depends_on_type(self):
+        assert object_id("blob", b"x") != object_id("tree", b"x")
+
+    def test_short_id_default_length(self):
+        oid = "bbd248a" + "0" * 33
+        assert short_id(oid) == "bbd248a"
+
+    def test_short_id_minimum_length(self):
+        with pytest.raises(ValueError):
+            short_id("abcdef", length=3)
+
+
+class TestTimestamps:
+    def test_format_round_trip(self):
+        when = datetime(2018, 9, 4, 2, 35, 20, tzinfo=timezone.utc)
+        assert format_timestamp(when) == "2018-09-04T02:35:20Z"
+        assert parse_timestamp("2018-09-04T02:35:20Z") == when
+
+    def test_parse_tolerates_listing1_spaces(self):
+        # The paper's listing contains "2018 -09 -04 T02:35:20Z" due to typesetting.
+        assert parse_timestamp("2018 -09 -04 T02:35:20Z") == datetime(
+            2018, 9, 4, 2, 35, 20, tzinfo=timezone.utc
+        )
+
+    def test_naive_datetime_is_treated_as_utc(self):
+        assert format_timestamp(datetime(2020, 1, 1)) == "2020-01-01T00:00:00Z"
+
+    def test_fixed_clock_advances(self):
+        clock = FixedClock(datetime(2018, 1, 1, tzinfo=timezone.utc), step_seconds=30)
+        first, second = clock(), clock()
+        assert (second - first).total_seconds() == 30
+
+    def test_set_and_reset_clock(self):
+        set_clock(FixedClock(datetime(2001, 2, 3, tzinfo=timezone.utc)))
+        assert now_utc().year == 2001
+        reset_clock()
+        assert now_utc().year >= 2018
+
+    def test_now_utc_has_no_microseconds(self):
+        assert now_utc().microsecond == 0
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_dumps({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_bytes_round_trip(self):
+        value = {"key": "välue", "n": 3}
+        assert stable_loads(canonical_dump_bytes(value)) == value
+
+    def test_identical_dicts_serialise_identically(self):
+        assert canonical_dumps({"a": 1, "b": 2}) == canonical_dumps({"b": 2, "a": 1})
+
+    def test_pretty_dumps_is_indented(self):
+        assert "\n  " in pretty_dumps({"a": {"b": 1}})
+
+    def test_stable_loads_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            stable_loads("{not json")

@@ -1,0 +1,180 @@
+"""Unit tests for repository path handling (repro.utils.paths)."""
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.utils.paths import (
+    ROOT,
+    RepoPath,
+    ancestors,
+    common_prefix,
+    is_ancestor,
+    is_dir_key,
+    join_path,
+    normalize_path,
+    path_basename,
+    path_depth,
+    path_parent,
+    relative_to,
+    rewrite_prefix,
+    split_path,
+    to_citation_key,
+)
+
+
+class TestNormalizePath:
+    def test_root_forms(self):
+        for raw in ("/", "", ".", "./", "   "):
+            assert normalize_path(raw) == ROOT
+
+    def test_strips_trailing_slash(self):
+        assert normalize_path("a/b/") == "/a/b"
+
+    def test_adds_leading_slash(self):
+        assert normalize_path("a/b") == "/a/b"
+
+    def test_collapses_dot_and_empty_components(self):
+        assert normalize_path("./a//b/./c") == "/a/b/c"
+
+    def test_listing1_ellipsis_prefix(self):
+        # Listing 1 writes nested keys as ".../CoreCover/".
+        assert normalize_path(".../CoreCover/") == "/CoreCover"
+        assert normalize_path(".../citation/GUI/") == "/citation/GUI"
+
+    def test_rejects_parent_escapes(self):
+        with pytest.raises(InvalidPathError):
+            normalize_path("../outside")
+
+    def test_rejects_backslash(self):
+        with pytest.raises(InvalidPathError):
+            normalize_path("a\\b")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidPathError):
+            normalize_path(42)  # type: ignore[arg-type]
+
+    def test_idempotent(self):
+        assert normalize_path(normalize_path("x/y/z/")) == "/x/y/z"
+
+
+class TestSplitJoin:
+    def test_split_root(self):
+        assert split_path("/") == ()
+
+    def test_split_nested(self):
+        assert split_path("/a/b/c") == ("a", "b", "c")
+
+    def test_join_simple(self):
+        assert join_path("/a", "b", "c") == "/a/b/c"
+
+    def test_join_with_root_base(self):
+        assert join_path("/", "x") == "/x"
+
+    def test_join_of_nothing_is_root(self):
+        assert join_path("/") == ROOT
+
+    def test_parent_and_basename(self):
+        assert path_parent("/a/b/c") == "/a/b"
+        assert path_parent("/a") == ROOT
+        assert path_parent("/") == ROOT
+        assert path_basename("/a/b/c") == "c"
+        assert path_basename("/") == ""
+
+    def test_depth(self):
+        assert path_depth("/") == 0
+        assert path_depth("/a") == 1
+        assert path_depth("/a/b/c") == 3
+
+
+class TestAncestors:
+    def test_closest_first_ordering(self):
+        assert ancestors("/a/b/c") == ["/a/b", "/a", "/"]
+
+    def test_include_self(self):
+        assert ancestors("/a/b", include_self=True) == ["/a/b", "/a", "/"]
+
+    def test_root_ancestors(self):
+        assert ancestors("/") == ["/"]
+        assert ancestors("/", include_self=True) == ["/"]
+
+    def test_top_level_file(self):
+        assert ancestors("/f1.py") == ["/"]
+
+    def test_is_ancestor_strict(self):
+        assert is_ancestor("/a", "/a/b")
+        assert not is_ancestor("/a", "/a")
+        assert is_ancestor("/a", "/a", strict=False)
+        assert not is_ancestor("/a/b", "/a")
+        assert is_ancestor("/", "/anything")
+
+    def test_sibling_prefix_is_not_ancestor(self):
+        assert not is_ancestor("/ab", "/abc")
+
+
+class TestRelativeAndRewrite:
+    def test_relative_to(self):
+        assert relative_to("/a/b/c", "/a") == "b/c"
+        assert relative_to("/a", "/a") == ""
+        assert relative_to("/a/b", "/") == "a/b"
+
+    def test_relative_to_error(self):
+        with pytest.raises(InvalidPathError):
+            relative_to("/x/y", "/a")
+
+    def test_rewrite_prefix(self):
+        assert rewrite_prefix("/green/f2.py", "/green", "/imported/green") == "/imported/green/f2.py"
+
+    def test_rewrite_prefix_of_the_prefix_itself(self):
+        assert rewrite_prefix("/green", "/green", "/new") == "/new"
+
+    def test_rewrite_from_root(self):
+        assert rewrite_prefix("/a/b", "/", "/sub") == "/sub/a/b"
+
+    def test_common_prefix(self):
+        assert common_prefix(["/a/b/c", "/a/b/d", "/a/b"]) == "/a/b"
+        assert common_prefix(["/a", "/b"]) == "/"
+        assert common_prefix([]) == "/"
+
+
+class TestCitationKeys:
+    def test_root_key(self):
+        assert to_citation_key("/", True) == "/"
+
+    def test_directory_key_has_trailing_slash(self):
+        assert to_citation_key("/CoreCover", True) == "/CoreCover/"
+
+    def test_file_key_has_no_trailing_slash(self):
+        assert to_citation_key("/src/main.py", False) == "/src/main.py"
+
+    def test_is_dir_key(self):
+        assert is_dir_key("/CoreCover/")
+        assert is_dir_key("/")
+        assert not is_dir_key("/main.py")
+
+
+class TestRepoPath:
+    def test_normalises_on_construction(self):
+        assert str(RepoPath("a/b/")) == "/a/b"
+
+    def test_parts_parent_name_depth(self):
+        path = RepoPath("/a/b/c")
+        assert path.parts == ("a", "b", "c")
+        assert str(path.parent) == "/a/b"
+        assert path.name == "c"
+        assert path.depth == 3
+
+    def test_joinpath_and_ancestors(self):
+        path = RepoPath("/a").joinpath("b", "c")
+        assert str(path) == "/a/b/c"
+        assert [str(p) for p in path.ancestors()] == ["/a/b", "/a", "/"]
+
+    def test_is_ancestor_of(self):
+        assert RepoPath("/a").is_ancestor_of("/a/b")
+        assert not RepoPath("/a/b").is_ancestor_of(RepoPath("/a"))
+
+    def test_relative_to(self):
+        assert RepoPath("/a/b/c").relative_to("/a") == "b/c"
+
+    def test_ordering_and_equality(self):
+        assert RepoPath("/a") == RepoPath("a/")
+        assert RepoPath("/a") < RepoPath("/b")

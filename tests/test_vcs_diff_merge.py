@@ -1,0 +1,215 @@
+"""Unit tests for tree diffs (rename detection) and three-way merges."""
+
+import pytest
+
+from repro.vcs.diff import blob_similarity, diff_trees
+from repro.vcs.merge import (
+    BlobMergeResult,
+    commit_ancestors,
+    find_merge_base,
+    is_ancestor_commit,
+    merge_blobs,
+    merge_trees,
+)
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import Blob
+from repro.vcs.repository import Repository
+from repro.vcs.treeops import build_tree
+
+
+def _tree(store, files: dict[str, bytes]) -> str:
+    return build_tree(store, {path: (store.put(Blob(data)), "100644") for path, data in files.items()})
+
+
+class TestDiffTrees:
+    def test_added_deleted_modified(self):
+        store = ObjectStore()
+        old = _tree(store, {"/keep.txt": b"same", "/gone.txt": b"bye", "/edit.txt": b"v1"})
+        new = _tree(store, {"/keep.txt": b"same", "/new.txt": b"hi", "/edit.txt": b"v2"})
+        diff = diff_trees(store, old, new)
+        assert diff.added_paths() == ["/new.txt"]
+        assert diff.deleted_paths() == ["/gone.txt"]
+        assert [e.path for e in diff.modified] == ["/edit.txt"]
+        assert not diff.is_empty
+        assert "1 added" in diff.summary()
+
+    def test_exact_rename_detection(self):
+        store = ObjectStore()
+        old = _tree(store, {"/old/name.py": b"identical content"})
+        new = _tree(store, {"/new/name.py": b"identical content"})
+        diff = diff_trees(store, old, new)
+        assert diff.renames() == {"/old/name.py": "/new/name.py"}
+        assert diff.renamed[0].similarity == 1.0
+        assert not diff.added and not diff.deleted
+
+    def test_exact_rename_prefers_same_basename(self):
+        store = ObjectStore()
+        old = _tree(store, {"/a/f.py": b"same"})
+        new = _tree(store, {"/b/other.py": b"same", "/c/f.py": b"same"})
+        diff = diff_trees(store, old, new)
+        assert diff.renames()["/a/f.py"] == "/c/f.py"
+
+    def test_similarity_rename_detection(self):
+        store = ObjectStore()
+        content = "\n".join(f"line {i}" for i in range(50))
+        edited = content.replace("line 10", "line ten")
+        old = _tree(store, {"/module.py": content.encode()})
+        new = _tree(store, {"/renamed_module.py": edited.encode()})
+        diff = diff_trees(store, old, new)
+        assert diff.renames() == {"/module.py": "/renamed_module.py"}
+        assert 0.6 <= diff.renamed[0].similarity <= 1.0
+
+    def test_rename_detection_can_be_disabled(self):
+        store = ObjectStore()
+        old = _tree(store, {"/a.py": b"content"})
+        new = _tree(store, {"/b.py": b"content"})
+        diff = diff_trees(store, old, new, detect_renames=False)
+        assert not diff.renamed
+        assert diff.added_paths() == ["/b.py"] and diff.deleted_paths() == ["/a.py"]
+
+    def test_diff_against_empty_tree(self):
+        store = ObjectStore()
+        new = _tree(store, {"/a.py": b"x"})
+        diff = diff_trees(store, None, new)
+        assert diff.added_paths() == ["/a.py"]
+
+    def test_identical_trees_empty_diff(self):
+        store = ObjectStore()
+        tree = _tree(store, {"/a.py": b"x"})
+        assert diff_trees(store, tree, tree).is_empty
+
+    def test_blob_similarity(self):
+        store = ObjectStore()
+        a = store.put(Blob(b"a\nb\nc\nd\n"))
+        b = store.put(Blob(b"a\nb\nc\nD\n"))
+        binary = store.put(Blob(b"\x00\x01"))
+        assert blob_similarity(store, a, a) == 1.0
+        assert 0.5 < blob_similarity(store, a, b) < 1.0
+        assert blob_similarity(store, a, binary) == 0.0
+
+
+class TestMergeBlobs:
+    def _merge(self, base: bytes, ours: bytes, theirs: bytes) -> BlobMergeResult:
+        store = ObjectStore()
+        return merge_blobs(store, store.put(Blob(base)), store.put(Blob(ours)), store.put(Blob(theirs)))
+
+    def test_non_overlapping_edits_both_applied(self):
+        base = b"a\nb\nc\nd\ne\n"
+        result = self._merge(base, b"A\nb\nc\nd\ne\n", b"a\nb\nc\nd\nE\n")
+        assert result.data == b"A\nb\nc\nd\nE\n"
+        assert not result.has_conflict
+
+    def test_identical_edits_taken_once(self):
+        base = b"a\nb\nc\n"
+        result = self._merge(base, b"a\nX\nc\n", b"a\nX\nc\n")
+        assert result.data == b"a\nX\nc\n"
+        assert not result.has_conflict
+
+    def test_conflicting_edits_produce_markers(self):
+        base = b"a\nb\nc\n"
+        result = self._merge(base, b"a\nOURS\nc\n", b"a\nTHEIRS\nc\n")
+        assert result.has_conflict
+        text = result.data.decode()
+        assert "<<<<<<< ours" in text and ">>>>>>> theirs" in text
+        assert "OURS" in text and "THEIRS" in text
+
+    def test_one_side_unchanged_is_trivial(self):
+        base = b"a\nb\n"
+        result = self._merge(base, base, b"a\nb\nc\n")
+        assert result.data == b"a\nb\nc\n"
+        assert not result.has_conflict
+
+    def test_missing_sides(self):
+        store = ObjectStore()
+        ours = store.put(Blob(b"content\n"))
+        result = merge_blobs(store, None, ours, ours)
+        assert result.data == b"content\n" and not result.has_conflict
+
+    def test_binary_conflict_keeps_ours(self):
+        store = ObjectStore()
+        base = store.put(Blob(b"\x00base"))
+        ours = store.put(Blob(b"\x00ours"))
+        theirs = store.put(Blob(b"\x00theirs"))
+        result = merge_blobs(store, base, ours, theirs)
+        assert result.has_conflict and result.data == b"\x00ours"
+
+
+class TestMergeTrees:
+    def test_disjoint_additions_merge_cleanly(self):
+        store = ObjectStore()
+        base = _tree(store, {"/common.txt": b"base"})
+        ours = _tree(store, {"/common.txt": b"base", "/ours.txt": b"o"})
+        theirs = _tree(store, {"/common.txt": b"base", "/theirs.txt": b"t"})
+        result = merge_trees(store, base, ours, theirs)
+        assert set(result.files) == {"/common.txt", "/ours.txt", "/theirs.txt"}
+        assert not result.has_conflicts
+
+    def test_delete_vs_untouched_is_deleted(self):
+        store = ObjectStore()
+        base = _tree(store, {"/a.txt": b"x", "/b.txt": b"y"})
+        ours = _tree(store, {"/b.txt": b"y"})
+        theirs = _tree(store, {"/a.txt": b"x", "/b.txt": b"y"})
+        result = merge_trees(store, base, ours, theirs)
+        assert "/a.txt" not in result.files
+        assert result.deleted_paths == ["/a.txt"]
+        assert not result.has_conflicts
+
+    def test_modify_vs_delete_conflicts(self):
+        store = ObjectStore()
+        base = _tree(store, {"/a.txt": b"v1"})
+        ours = _tree(store, {"/a.txt": b"v2"})
+        theirs = _tree(store, {})
+        result = merge_trees(store, base, ours, theirs)
+        assert result.conflicts == ["/a.txt"]
+        assert result.files["/a.txt"] == b"v2"
+
+    def test_add_add_different_content_conflicts(self):
+        store = ObjectStore()
+        base = _tree(store, {})
+        ours = _tree(store, {"/new.txt": b"ours version\n"})
+        theirs = _tree(store, {"/new.txt": b"theirs version\n"})
+        result = merge_trees(store, base, ours, theirs)
+        assert result.conflicts == ["/new.txt"]
+
+    def test_both_deleted(self):
+        store = ObjectStore()
+        base = _tree(store, {"/a.txt": b"x"})
+        empty = _tree(store, {})
+        result = merge_trees(store, base, empty, empty)
+        assert result.deleted_paths == ["/a.txt"] and not result.files
+
+
+class TestMergeBase:
+    def _history(self):
+        repo = Repository.init("p", "o")
+        repo.write_file("f.txt", "base\n")
+        base = repo.commit("base")
+        repo.create_branch("side")
+        repo.write_file("main.txt", "m\n")
+        main_tip = repo.commit("main work")
+        repo.checkout("side")
+        repo.write_file("side.txt", "s\n")
+        side_tip = repo.commit("side work")
+        return repo, base, main_tip, side_tip
+
+    def test_find_merge_base(self):
+        repo, base, main_tip, side_tip = self._history()
+        assert find_merge_base(repo.store, main_tip, side_tip) == base
+        assert find_merge_base(repo.store, main_tip, base) == base
+
+    def test_unrelated_histories_have_no_base(self):
+        repo_a = Repository.init("a", "o")
+        repo_a.write_file("a.txt", "a")
+        tip_a = repo_a.commit("a")
+        repo_b = Repository.init("b", "o")
+        repo_b.write_file("b.txt", "b")
+        tip_b = repo_b.commit("b")
+        repo_b.store.copy_objects_to(repo_a.store)
+        assert find_merge_base(repo_a.store, tip_a, tip_b) is None
+
+    def test_ancestor_queries(self):
+        repo, base, main_tip, side_tip = self._history()
+        assert is_ancestor_commit(repo.store, base, main_tip)
+        assert not is_ancestor_commit(repo.store, main_tip, base)
+        assert base in commit_ancestors(repo.store, side_tip)
+        assert commit_ancestors(repo.store, base)[base] == 0

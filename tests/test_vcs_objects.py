@@ -1,0 +1,177 @@
+"""Unit tests for the VCS object model and the object store."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import InvalidObjectError, ObjectNotFoundError
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import (
+    MODE_DIRECTORY,
+    MODE_FILE,
+    Blob,
+    Commit,
+    Signature,
+    Tag,
+    Tree,
+    TreeEntry,
+    deserialize_object,
+)
+
+WHEN = datetime(2018, 9, 4, 2, 35, 20, tzinfo=timezone.utc)
+SIG = Signature(name="Yinjun Wu", email="wu@example.org", timestamp=WHEN)
+
+
+class TestBlob:
+    def test_round_trip(self):
+        blob = Blob(b"hello\n")
+        assert Blob.deserialize(blob.serialize()) == blob
+
+    def test_oid_is_content_addressed(self):
+        assert Blob(b"x").oid == Blob(b"x").oid
+        assert Blob(b"x").oid != Blob(b"y").oid
+
+    def test_text_and_binary_detection(self):
+        assert Blob("héllo".encode()).text() == "héllo"
+        assert not Blob(b"plain text").is_binary
+        assert Blob(b"\x00\x01\x02").is_binary
+
+
+class TestTreeEntry:
+    def test_rejects_slash_in_name(self):
+        with pytest.raises(InvalidObjectError):
+            TreeEntry(name="a/b", oid="0" * 40)
+
+    def test_rejects_dot_names(self):
+        for bad in (".", "..", ""):
+            with pytest.raises(InvalidObjectError):
+                TreeEntry(name=bad, oid="0" * 40)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(InvalidObjectError):
+            TreeEntry(name="f", oid="0" * 40, mode="777")
+
+    def test_is_directory(self):
+        assert TreeEntry(name="d", oid="0" * 40, mode=MODE_DIRECTORY).is_directory
+        assert not TreeEntry(name="f", oid="0" * 40, mode=MODE_FILE).is_directory
+
+
+class TestTree:
+    def test_entries_are_sorted_for_determinism(self):
+        entry_a = TreeEntry(name="a", oid="1" * 40)
+        entry_b = TreeEntry(name="b", oid="2" * 40)
+        assert Tree((entry_b, entry_a)).oid == Tree((entry_a, entry_b)).oid
+
+    def test_duplicate_names_rejected(self):
+        entry = TreeEntry(name="a", oid="1" * 40)
+        with pytest.raises(InvalidObjectError):
+            Tree((entry, TreeEntry(name="a", oid="2" * 40)))
+
+    def test_round_trip(self):
+        tree = Tree((TreeEntry(name="f.py", oid="3" * 40), TreeEntry(name="d", oid="4" * 40, mode=MODE_DIRECTORY)))
+        assert Tree.deserialize(tree.serialize()) == tree
+
+    def test_entry_lookup_and_modification(self):
+        tree = Tree((TreeEntry(name="a", oid="1" * 40),))
+        assert tree.entry("a").oid == "1" * 40
+        assert tree.entry("missing") is None
+        grown = tree.with_entry(TreeEntry(name="b", oid="2" * 40))
+        assert grown.names == ("a", "b")
+        shrunk = grown.without_entry("a")
+        assert shrunk.names == ("b",)
+
+    def test_empty_tree(self):
+        assert Tree().entries == ()
+        assert Tree.deserialize(Tree().serialize()) == Tree()
+
+
+class TestCommitAndTag:
+    def _commit(self, parents=()):
+        return Commit(
+            tree_oid="a" * 40,
+            parent_oids=tuple(parents),
+            author=SIG,
+            committer=SIG,
+            message="Add feature\n\nWith a body.",
+        )
+
+    def test_commit_round_trip(self):
+        commit = self._commit(parents=["b" * 40, "c" * 40])
+        assert Commit.deserialize(commit.serialize()) == commit
+
+    def test_commit_flags(self):
+        assert self._commit().is_root
+        assert not self._commit(["b" * 40]).is_root
+        assert self._commit(["b" * 40, "c" * 40]).is_merge
+        assert self._commit().summary == "Add feature"
+
+    def test_signature_round_trip(self):
+        assert Signature.parse(SIG.serialize()) == SIG
+
+    def test_signature_parse_error(self):
+        with pytest.raises(InvalidObjectError):
+            Signature.parse("not a signature")
+
+    def test_tag_round_trip(self):
+        tag = Tag(object_oid="a" * 40, object_type="commit", name="v1.0", tagger=SIG, message="release")
+        assert Tag.deserialize(tag.serialize()) == tag
+
+    def test_deserialize_object_dispatch(self):
+        blob = Blob(b"data")
+        assert deserialize_object("blob", blob.serialize()) == blob
+        with pytest.raises(InvalidObjectError):
+            deserialize_object("unknown", b"")
+
+
+class TestObjectStore:
+    def test_put_get_round_trip(self):
+        store = ObjectStore()
+        oid = store.put(Blob(b"hello"))
+        assert store.get_blob(oid).data == b"hello"
+        assert oid in store
+        assert len(store) == 1
+
+    def test_put_is_idempotent(self):
+        store = ObjectStore()
+        store.put(Blob(b"x"))
+        store.put(Blob(b"x"))
+        assert len(store) == 1
+
+    def test_missing_object_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            ObjectStore().get("f" * 40)
+
+    def test_type_mismatch_raises(self):
+        store = ObjectStore()
+        oid = store.put(Blob(b"x"))
+        with pytest.raises(InvalidObjectError):
+            store.get_tree(oid)
+
+    def test_resolve_prefix(self):
+        store = ObjectStore()
+        oid = store.put(Blob(b"unique content"))
+        assert store.resolve_prefix(oid[:8]) == oid
+        with pytest.raises(ObjectNotFoundError):
+            store.resolve_prefix("0000")
+        with pytest.raises(InvalidObjectError):
+            store.resolve_prefix("ab")  # too short
+
+    def test_copy_objects_to_and_missing_from(self):
+        source, destination = ObjectStore(), ObjectStore()
+        oid = source.put(Blob(b"payload"))
+        assert source.missing_from(destination) == [oid]
+        assert source.copy_objects_to(destination) == 1
+        assert source.copy_objects_to(destination) == 0
+        assert destination.get_blob(oid).data == b"payload"
+
+    def test_clone_is_independent(self):
+        store = ObjectStore()
+        store.put(Blob(b"a"))
+        clone = store.clone()
+        clone.put(Blob(b"b"))
+        assert len(store) == 1 and len(clone) == 2
+
+    def test_total_size(self):
+        store = ObjectStore()
+        store.put(Blob(b"12345"))
+        assert store.total_size() >= 5

@@ -1,0 +1,162 @@
+"""Unit tests for clone/fork/push/pull, ignore rules and on-disk worktrees."""
+
+import pytest
+
+from repro.errors import RemoteError, VCSError
+from repro.vcs.ignore import IgnoreRules
+from repro.vcs.remote import clone_repository, fetch_branch, fork_repository, pull, push, reachable_objects
+from repro.vcs.repository import Repository
+from repro.vcs.worktree import export_snapshot, export_worktree, import_worktree
+
+
+@pytest.fixture
+def origin() -> Repository:
+    repo = Repository.init("upstream", "alice", description="origin project")
+    repo.write_file("src/lib.py", "lib = 1\n")
+    repo.write_file("README.md", "# upstream\n")
+    repo.commit("initial")
+    return repo
+
+
+class TestCloneAndFork:
+    def test_clone_preserves_history_and_content(self, origin):
+        clone = clone_repository(origin)
+        assert clone.head_oid() == origin.head_oid()
+        assert clone.snapshot() == origin.snapshot()
+        assert clone.full_name == origin.full_name
+
+    def test_clone_is_independent(self, origin):
+        clone = clone_repository(origin)
+        clone.write_file("new.txt", "n")
+        clone.commit("clone-only work")
+        assert origin.head_oid() != clone.head_oid()
+        assert not origin.file_exists("new.txt")
+
+    def test_fork_changes_owner_keeps_history(self, origin):
+        fork = fork_repository(origin, new_owner="bob", new_name="downstream")
+        assert fork.owner == "bob" and fork.name == "downstream"
+        assert fork.head_oid() == origin.head_oid()
+        assert fork.snapshot() == origin.snapshot()
+
+    def test_fork_requires_owner(self, origin):
+        with pytest.raises(RemoteError):
+            fork_repository(origin, new_owner="")
+
+    def test_reachable_objects_cover_commit_trees_blobs(self, origin):
+        objects = reachable_objects(origin.store, origin.head_oid())
+        assert origin.head_oid() in objects
+        assert len(objects) >= 4  # commit + root tree + subtree + 2 blobs
+
+
+class TestPushPull:
+    def test_push_fast_forward(self, origin):
+        local = clone_repository(origin)
+        local.write_file("feature.py", "x = 1\n")
+        tip = local.commit("feature")
+        assert push(local, origin) == tip
+        assert origin.head_oid() == tip
+        assert origin.file_exists("feature.py")
+
+    def test_push_rejects_non_fast_forward(self, origin):
+        local = clone_repository(origin)
+        local.write_file("a.txt", "a")
+        local.commit("local work")
+        origin.write_file("b.txt", "b")
+        origin.commit("remote work")
+        with pytest.raises(RemoteError):
+            push(local, origin)
+        push(local, origin, force=True)
+        assert origin.head_oid() == local.head_oid()
+
+    def test_push_unknown_branch(self, origin):
+        local = clone_repository(origin)
+        with pytest.raises(RemoteError):
+            push(local, origin, branch="does-not-exist")
+
+    def test_pull_fast_forwards_local(self, origin):
+        local = clone_repository(origin)
+        origin.write_file("upstream.txt", "u")
+        tip = origin.commit("upstream change")
+        assert pull(local, origin) == tip
+        assert local.head_oid() == tip and local.file_exists("upstream.txt")
+
+    def test_pull_diverged_refuses(self, origin):
+        local = clone_repository(origin)
+        local.write_file("l.txt", "l")
+        local.commit("local")
+        origin.write_file("r.txt", "r")
+        origin.commit("remote")
+        with pytest.raises(RemoteError):
+            pull(local, origin)
+
+    def test_fetch_branch_copies_objects_only(self, origin):
+        other = Repository.init("scratch", "carol")
+        tip = fetch_branch(origin, other, "main")
+        assert tip in other.store
+        assert not other.refs.has_branch("main")
+        with pytest.raises(RemoteError):
+            fetch_branch(origin, other, "missing")
+
+
+class TestIgnoreRules:
+    def test_defaults_ignore_state_dirs_and_pyc(self):
+        rules = IgnoreRules()
+        assert rules.matches("/.gitcite/state.json")
+        assert rules.matches("/pkg/__pycache__/mod.cpython-311.pyc")
+        assert rules.matches("/mod.pyc")
+        assert not rules.matches("/src/main.py")
+
+    def test_directory_pattern_only_matches_directories(self):
+        rules = IgnoreRules(["build/"])
+        assert rules.matches("/build", is_directory=True)
+        assert rules.matches("/build/out.bin")
+        assert not rules.matches("/build")  # a *file* named build is kept
+
+    def test_from_text_and_comments(self):
+        rules = IgnoreRules.from_text("# comment\n*.log\n\ntmp/\n")
+        assert rules.matches("/server.log")
+        assert rules.matches("/tmp/scratch.txt")
+        assert not rules.matches("/keep.txt")
+
+    def test_full_path_patterns(self):
+        rules = IgnoreRules(["docs/*.md"])
+        assert rules.matches("/docs/guide.md")
+        assert not rules.matches("/guide.md")
+
+    def test_filter_paths(self):
+        rules = IgnoreRules(["*.tmp"])
+        assert rules.filter_paths(["/a.tmp", "/b.txt"]) == ["/b.txt"]
+
+
+class TestDiskWorktree:
+    def test_export_and_import_round_trip(self, origin, tmp_path):
+        target = tmp_path / "checkout"
+        written = export_worktree(origin, target)
+        assert (target / "src" / "lib.py").read_text() == "lib = 1\n"
+        assert "/src/lib.py" in written
+
+        fresh = Repository.init("reimport", "alice")
+        imported = import_worktree(fresh, target)
+        assert imported == sorted(origin.worktree)
+        assert fresh.worktree == origin.worktree
+
+    def test_import_honours_ignore_rules(self, origin, tmp_path):
+        target = tmp_path / "checkout"
+        export_worktree(origin, target)
+        (target / ".gitcite").mkdir()
+        (target / ".gitcite" / "state.json").write_text("{}")
+        (target / "junk.pyc").write_bytes(b"\x00")
+        fresh = Repository.init("reimport", "alice")
+        imported = import_worktree(fresh, target)
+        assert all(".gitcite" not in path and not path.endswith(".pyc") for path in imported)
+
+    def test_export_snapshot_of_old_version(self, origin, tmp_path):
+        first = origin.head_oid()
+        origin.write_file("src/lib.py", "lib = 2\n")
+        origin.commit("bump")
+        export_snapshot(origin, first, tmp_path / "old")
+        assert (tmp_path / "old" / "src" / "lib.py").read_text() == "lib = 1\n"
+
+    def test_import_requires_directory(self, origin, tmp_path):
+        with pytest.raises(VCSError):
+            import_worktree(origin, tmp_path / "missing")
