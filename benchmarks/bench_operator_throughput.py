@@ -67,6 +67,64 @@ def test_addcite_plus_commit_cost(benchmark, workload):
     benchmark.pedantic(add_and_commit, iterations=1, rounds=30)
 
 
+def test_bulk_addcite_batch_vs_write_through(benchmark):
+    """Bulk AddCite through the manager: write-through vs batch() persistence.
+
+    The batch context defers citation.cite serialisation to one write at
+    exit, turning the O(n²) bulk load into O(n) with byte-identical output.
+    """
+    import random
+
+    from repro.citation.citefile import CITATION_FILE_PATH
+    from repro.workloads.generator import generate_citation
+
+    bulk = 400
+
+    def build():
+        workload = generate_repository(
+            WorkloadConfig(seed=33, num_files=bulk + 100, citation_density=0.0)
+        )
+        rng = random.Random(17)
+        citations = [
+            generate_citation(rng, repo_name=workload.repo.name) for _ in range(bulk)
+        ]
+        return workload, workload.file_paths[:bulk], citations
+
+    plain, plain_paths, plain_citations = build()
+    start = time.perf_counter()
+    for path, citation in zip(plain_paths, plain_citations):
+        plain.manager.add_cite(path, citation)
+    write_through_s = time.perf_counter() - start
+
+    batched_workloads = []
+
+    def setup():
+        # Workload construction stays outside the timed region, mirroring
+        # what the write-through measurement above times.
+        return (build(),), {}
+
+    def run_batched(built):
+        workload, paths, citations = built
+        with workload.manager.batch():
+            for path, citation in zip(paths, citations):
+                workload.manager.add_cite(path, citation)
+        batched_workloads.append(workload)
+
+    benchmark.pedantic(run_batched, setup=setup, iterations=1, rounds=3)
+    assert batched_workloads
+    assert batched_workloads[-1].repo.read_file(CITATION_FILE_PATH) == plain.repo.read_file(
+        CITATION_FILE_PATH
+    )
+    print_table(
+        "EXTRA-OPERATOR-THROUGHPUT — bulk AddCite persistence modes",
+        ["mode", "operations", "seconds"],
+        [
+            ["write-through (seed behaviour)", bulk, f"{write_through_s:.3f}"],
+            ["batch() (single write)", bulk, "see benchmark stats above"],
+        ],
+    )
+
+
 def test_operator_throughput_table(benchmark):
     """Print operations/second per operator kind."""
     # A fresh workload: the module fixture's citation function is mutated by

@@ -1,0 +1,395 @@
+"""Benchmark runner: measure the hot paths and emit ``BENCH_results.json``.
+
+Each scenario times a *baseline* implementation (a faithful copy of the
+seed's code path) against the *optimized* implementation now in the tree, on
+identical inputs, and verifies that both produce identical outputs.  The
+machine-readable results file gives this and future PRs a recorded
+performance trajectory::
+
+    PYTHONPATH=src python benchmarks/run_all.py           # scenarios only
+    PYTHONPATH=src python benchmarks/run_all.py --full    # + pytest-benchmark suite
+
+Output schema (``BENCH_results.json`` at the repository root)::
+
+    {
+      "schema": 1,
+      "generated_at": "<iso timestamp>",
+      "python": "<interpreter version>",
+      "results": {
+        "<scenario>": {
+          "baseline_s": float,     # seed code path, same inputs
+          "optimized_s": float,    # current code path
+          "speedup": float,        # baseline_s / optimized_s
+          "outputs_identical": true,
+          ...scenario-specific fields...
+        }
+      }
+    }
+
+See PERFORMANCE.md for what each scenario exercises and how to read the
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes  # noqa: E402
+from repro.citation.function import CitationFunction  # noqa: E402
+from repro.citation.retro import AttributionIndex, FileAttribution  # noqa: E402
+from repro.utils.paths import ROOT, is_ancestor, path_parent  # noqa: E402
+from repro.utils.timeutil import FixedClock, reset_clock, set_clock  # noqa: E402
+from repro.vcs.object_store import ObjectStore  # noqa: E402
+from repro.vcs.objects import Blob  # noqa: E402
+from repro.vcs.treeops import build_tree  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    WorkloadConfig,
+    generate_citation,
+    generate_citation_function,
+    generate_repository,
+    generate_tree_paths,
+)
+
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_results.json"
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def bench_bulk_addcite(num_operations: int = 1000) -> dict:
+    """1k AddCite through the manager: write-through vs ``batch()``.
+
+    The seed persisted ``citation.cite`` after every operator, making a bulk
+    load quadratic in the number of citations; a batch defers to one write.
+    """
+
+    def build():
+        workload = generate_repository(
+            WorkloadConfig(seed=31, num_files=num_operations + 120, citation_density=0.0)
+        )
+        rng = random.Random(99)
+        targets = workload.file_paths[:num_operations]
+        citations = [
+            generate_citation(rng, repo_name=workload.repo.name) for _ in targets
+        ]
+        return workload, targets, citations
+
+    plain, plain_targets, plain_citations = build()
+
+    def run_plain():
+        for path, citation in zip(plain_targets, plain_citations):
+            plain.manager.add_cite(path, citation)
+
+    baseline_s = _timed(run_plain)
+
+    batched, batch_targets, batch_citations = build()
+
+    def run_batched():
+        with batched.manager.batch():
+            for path, citation in zip(batch_targets, batch_citations):
+                batched.manager.add_cite(path, citation)
+
+    optimized_s = _timed(run_batched)
+
+    identical = plain.repo.read_file(CITATION_FILE_PATH) == batched.repo.read_file(
+        CITATION_FILE_PATH
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "operations": num_operations,
+    }
+
+
+def bench_cite_at_ref(num_calls: int = 300) -> dict:
+    """Repeated ``cite(path, ref)``: per-call re-parse vs the blob-oid cache."""
+    workload = generate_repository(WorkloadConfig(seed=42, num_files=800, citation_density=0.3))
+    manager = workload.manager
+    repo = workload.repo
+    ref = repo.head_oid()
+    probes = workload.file_paths[::7][:50]
+
+    def seed_cite(path: str, at: str):
+        # The seed's cite(path, ref): read the committed bytes and parse them
+        # on every single call.
+        return load_citation_bytes(repo.read_file_at(at, CITATION_FILE_PATH)).resolve(path)
+
+    baseline_results = []
+
+    def run_baseline():
+        for i in range(num_calls):
+            baseline_results.append(seed_cite(probes[i % len(probes)], ref))
+
+    baseline_s = _timed(run_baseline)
+
+    manager._parse_cache.clear()
+    optimized_results = []
+
+    def run_optimized():
+        for i in range(num_calls):
+            optimized_results.append(manager.cite(probes[i % len(probes)], ref))
+
+    optimized_s = _timed(run_optimized)
+
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": baseline_results == optimized_results,
+        "calls": num_calls,
+    }
+
+
+def bench_incremental_write_tree(num_files: int = 800, rounds: int = 20) -> dict:
+    """Tree materialisation per commit: full rebuild vs dirty-path reuse."""
+    workload = generate_repository(WorkloadConfig(seed=71, num_files=num_files))
+    repo = workload.repo
+    baseline_s = 0.0
+    optimized_s = 0.0
+    identical = True
+    for round_number in range(rounds):
+        repo.write_file("/bench_probe.txt", f"revision {round_number}\n")
+        repo.add()
+        entries = repo.index.entries()
+        start = time.perf_counter()
+        full_oid = build_tree(repo.store, entries)
+        baseline_s += time.perf_counter() - start
+        start = time.perf_counter()
+        incremental_oid = repo.index.write_tree(repo.store)
+        optimized_s += time.perf_counter() - start
+        identical = identical and full_oid == incremental_oid
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "files": num_files,
+        "rounds": rounds,
+    }
+
+
+def bench_resolve_prefix(num_objects: int = 20000, num_resolves: int = 200) -> dict:
+    """Abbreviated-id resolution: full scan vs the sorted-id bisect index."""
+    store = ObjectStore()
+    oids = [store.put(Blob(f"object {i}\n".encode())) for i in range(num_objects)]
+    probes = [oid[:12] for oid in oids[:: max(1, num_objects // num_resolves)]][:num_resolves]
+
+    def seed_resolve(prefix: str) -> str:
+        matches = [oid for oid in oids if oid.startswith(prefix)]
+        if len(matches) != 1:
+            raise AssertionError(f"unexpected match count for {prefix!r}")
+        return matches[0]
+
+    baseline_results = []
+
+    def run_baseline():
+        for prefix in probes:
+            baseline_results.append(seed_resolve(prefix))
+
+    baseline_s = _timed(run_baseline)
+
+    optimized_results = []
+
+    def run_optimized():
+        for prefix in probes:
+            optimized_results.append(store.resolve_prefix(prefix))
+
+    optimized_s = _timed(run_optimized)
+
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": baseline_results == optimized_results,
+        "objects": num_objects,
+        "resolves": num_resolves,
+    }
+
+
+def bench_entries_under(num_files: int = 15000, num_queries: int = 300) -> dict:
+    """Subtree queries on the citation function: full sort+scan vs bisect range."""
+    rng = random.Random(5)
+    paths = generate_tree_paths(rng, num_files, max_depth=6, branching=6)
+    function, cited = generate_citation_function(random.Random(5), paths, density=0.3)
+    directories = sorted({path_parent(p) for p in cited if path_parent(p) != ROOT})
+    queries = directories[:: max(1, len(directories) // num_queries)][:num_queries]
+
+    domain = function.active_domain()
+
+    def seed_entries_under(prefix: str):
+        selected = []
+        for path in sorted(domain):
+            if path == prefix or is_ancestor(prefix, path):
+                selected.append(function.entry(path))
+        return selected
+
+    baseline_results = []
+
+    def run_baseline():
+        for prefix in queries:
+            baseline_results.append([e.path for e in seed_entries_under(prefix)])
+
+    baseline_s = _timed(run_baseline)
+
+    optimized_results = []
+
+    def run_optimized():
+        for prefix in queries:
+            optimized_results.append(
+                [e.path for e in function.entries_under(prefix, include_prefix=True)]
+            )
+
+    optimized_s = _timed(run_optimized)
+
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": baseline_results == optimized_results,
+        "explicit_entries": len(function),
+        "queries": len(queries),
+    }
+
+
+def bench_retro_directory_authors(num_files: int = 1500, num_authors: int = 60) -> dict:
+    """Per-directory attribution: list membership scans vs ordered-set buckets."""
+    rng = random.Random(11)
+    paths = generate_tree_paths(rng, num_files, max_depth=5, branching=6)
+    authors = [f"contributor-{i}" for i in range(num_authors)]
+    index = AttributionIndex()
+    for path in paths:
+        attribution = FileAttribution(path=path)
+        for author in rng.sample(authors, k=rng.randint(1, 12)):
+            attribution.add_author(author)
+        index.files[path] = attribution
+
+    def seed_directory_authors() -> dict[str, list[str]]:
+        directories: dict[str, list[str]] = {ROOT: []}
+        for attribution in index.files.values():
+            parent = path_parent(attribution.path)
+            while True:
+                bucket = directories.setdefault(parent, [])
+                for author in attribution.authors:
+                    if author not in bucket:
+                        bucket.append(author)
+                if parent == ROOT:
+                    break
+                parent = path_parent(parent)
+        return directories
+
+    holder: dict[str, dict] = {}
+    baseline_s = _timed(lambda: holder.__setitem__("baseline", seed_directory_authors()))
+    optimized_s = _timed(lambda: holder.__setitem__("optimized", index.directory_authors()))
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": holder["baseline"] == holder["optimized"],
+        "files": num_files,
+        "authors": num_authors,
+    }
+
+
+SCENARIOS = {
+    "bulk_addcite_1k": bench_bulk_addcite,
+    "repeated_cite_at_ref": bench_cite_at_ref,
+    "incremental_write_tree": bench_incremental_write_tree,
+    "resolve_prefix": bench_resolve_prefix,
+    "entries_under": bench_entries_under,
+    "retro_directory_authors": bench_retro_directory_authors,
+}
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def run_scenarios(names: list[str] | None = None) -> dict:
+    set_clock(FixedClock(datetime(2018, 9, 1, 12, 0, 0, tzinfo=timezone.utc), step_seconds=60))
+    try:
+        results: dict[str, dict] = {}
+        for name, scenario in SCENARIOS.items():
+            if names and name not in names:
+                continue
+            print(f"running {name} ...", flush=True)
+            results[name] = scenario()
+            entry = results[name]
+            print(
+                f"  baseline {entry['baseline_s'] * 1e3:8.1f} ms   "
+                f"optimized {entry['optimized_s'] * 1e3:8.1f} ms   "
+                f"speedup {entry['speedup']:6.1f}x   "
+                f"identical={entry['outputs_identical']}"
+            )
+    finally:
+        reset_clock()
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON results"
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the pytest-benchmark suite (slow; records its exit code)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_scenarios(args.scenario)
+    payload = {
+        "schema": 1,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+    if args.full:
+        print("running pytest-benchmark suite ...", flush=True)
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", str(_REPO_ROOT / "benchmarks"), "--benchmark-only", "-q"],
+            cwd=_REPO_ROOT,
+            env={**__import__("os").environ, "PYTHONPATH": str(_REPO_ROOT / "src")},
+        )
+        payload["pytest_benchmark_exit_code"] = completed.returncode
+
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.output}")
+
+    failed = [name for name, entry in results.items() if not entry["outputs_identical"]]
+    if failed:
+        print(f"ERROR: scenarios with diverging outputs: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

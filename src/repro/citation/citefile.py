@@ -20,6 +20,7 @@ snapshot the file) deterministic.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from typing import Any, Mapping
 
 from repro.errors import CitationFileError
@@ -87,8 +88,8 @@ def loads_citation_file(text: str) -> CitationFunction:
         except (InvalidPathError, InvalidCitationError) as exc:
             raise CitationFileError(f"invalid citation.cite entry for key {raw_key!r}: {exc}") from exc
         entries.append(CitationEntry(path=path, citation=citation, is_directory=directory))
-    paths = [entry.path for entry in entries]
-    duplicates = sorted({p for p in paths if paths.count(p) > 1})
+    counts = Counter(entry.path for entry in entries)
+    duplicates = sorted(path for path, count in counts.items() if count > 1)
     if duplicates:
         raise CitationFileError(
             f"citation.cite contains duplicate keys after normalisation: {duplicates}"

@@ -29,10 +29,10 @@ from repro.citation.record import Citation
 from repro.utils.paths import (
     ROOT,
     ancestors,
-    is_ancestor,
     normalize_path,
     rewrite_prefix,
 )
+from repro.utils.sortedkeys import descendant_slice, sorted_insert, sorted_remove
 
 __all__ = ["CitationEntry", "ResolvedCitation", "CitationFunction"]
 
@@ -70,13 +70,32 @@ class ResolvedCitation:
 
 
 class CitationFunction:
-    """A partial map from repository paths to :class:`Citation` values."""
+    """A partial map from repository paths to :class:`Citation` values.
+
+    Alongside the hash map, a sorted list of the active-domain paths is
+    maintained so prefix queries (:meth:`entries_under`,
+    :meth:`rename_prefix`) are bisect-bounded range scans instead of full
+    sorts over the whole domain.
+    """
 
     def __init__(self, entries: Mapping[str, CitationEntry] | None = None) -> None:
         self._entries: dict[str, CitationEntry] = {}
         if entries:
             for entry in entries.values():
                 self._entries[entry.path] = entry
+        self._sorted_paths: list[str] = sorted(self._entries)
+
+    # -- sorted-key index maintenance ----------------------------------
+
+    def _index_add(self, path: str) -> None:
+        sorted_insert(self._sorted_paths, path)
+
+    def _index_remove(self, path: str) -> None:
+        sorted_remove(self._sorted_paths, path)
+
+    def _descendant_range(self, prefix: str) -> tuple[int, int]:
+        """Index range in the sorted key list of the strict descendants of ``prefix``."""
+        return descendant_slice(self._sorted_paths, prefix)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -93,6 +112,7 @@ class CitationFunction:
         """Return an independent copy (entries are immutable and shared)."""
         duplicate = CitationFunction()
         duplicate._entries = dict(self._entries)
+        duplicate._sorted_paths = list(self._sorted_paths)
         return duplicate
 
     # ------------------------------------------------------------------
@@ -103,7 +123,8 @@ class CitationFunction:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[CitationEntry]:
-        for path in sorted(self._entries):
+        # Snapshot: callers may mutate the function while iterating.
+        for path in list(self._sorted_paths):
             yield self._entries[path]
 
     def __contains__(self, path: str) -> bool:
@@ -116,7 +137,7 @@ class CitationFunction:
 
     def active_domain(self) -> list[str]:
         """The paths that carry an explicit citation (sorted)."""
-        return sorted(self._entries)
+        return list(self._sorted_paths)
 
     @property
     def has_root(self) -> bool:
@@ -135,9 +156,10 @@ class CitationFunction:
         """Every explicit entry at or below ``prefix`` (sorted by path)."""
         prefix = normalize_path(prefix)
         selected = []
-        for path in sorted(self._entries):
-            if (include_prefix and path == prefix) or is_ancestor(prefix, path):
-                selected.append(self._entries[path])
+        if include_prefix and prefix in self._entries:
+            selected.append(self._entries[prefix])
+        lower, upper = self._descendant_range(prefix)
+        selected.extend(self._entries[path] for path in self._sorted_paths[lower:upper])
         return selected
 
     # ------------------------------------------------------------------
@@ -151,6 +173,7 @@ class CitationFunction:
             raise CitationExistsError(canonical)
         entry = CitationEntry(path=canonical, citation=citation, is_directory=is_directory)
         self._entries[canonical] = entry
+        self._index_add(canonical)
         return entry
 
     def replace(self, path: str, citation: Citation) -> CitationEntry:
@@ -175,6 +198,8 @@ class CitationFunction:
             is_directory=existing.is_directory if existing else is_directory,
         )
         self._entries[canonical] = entry
+        if existing is None:
+            self._index_add(canonical)
         return entry
 
     def detach(self, path: str) -> CitationEntry:
@@ -187,13 +212,19 @@ class CitationFunction:
         if canonical == ROOT:
             raise ConsistencyError("the root citation cannot be deleted (it must always exist)")
         try:
-            return self._entries.pop(canonical)
+            entry = self._entries.pop(canonical)
         except KeyError:
             raise CitationNotFoundError(canonical) from None
+        self._index_remove(canonical)
+        return entry
 
     def discard(self, path: str) -> Optional[CitationEntry]:
         """Remove an entry if present, returning it (``None`` when absent)."""
-        return self._entries.pop(normalize_path(path), None)
+        canonical = normalize_path(path)
+        entry = self._entries.pop(canonical, None)
+        if entry is not None:
+            self._index_remove(canonical)
+        return entry
 
     # ------------------------------------------------------------------
     # Resolution — the Cite(V,P)(n) of Section 2
@@ -267,11 +298,14 @@ class CitationFunction:
         entry = self._entries.pop(old_canonical, None)
         if entry is None:
             return False
+        self._index_remove(old_canonical)
         moved = CitationEntry(
             path=normalize_path(new_path),
             citation=entry.citation,
             is_directory=entry.is_directory,
         )
+        if moved.path not in self._entries:
+            self._index_add(moved.path)
         self._entries[moved.path] = moved
         return True
 
@@ -284,11 +318,17 @@ class CitationFunction:
         """
         old_prefix = normalize_path(old_prefix)
         moves: dict[str, str] = {}
-        for path in list(self._entries):
-            if path == old_prefix or is_ancestor(old_prefix, path):
-                moves[path] = rewrite_prefix(path, old_prefix, new_prefix)
+        lower, upper = self._descendant_range(old_prefix)
+        affected = self._sorted_paths[lower:upper]
+        if old_prefix in self._entries:
+            affected.append(old_prefix)
+        for path in affected:
+            moves[path] = rewrite_prefix(path, old_prefix, new_prefix)
         for old, new in moves.items():
             entry = self._entries.pop(old)
+            self._index_remove(old)
+            if new not in self._entries:
+                self._index_add(new)
             self._entries[new] = CitationEntry(
                 path=new, citation=entry.citation, is_directory=entry.is_directory
             )
@@ -309,6 +349,8 @@ class CitationFunction:
             if path not in existing_paths:
                 del self._entries[path]
                 dropped.append(path)
+        if dropped:
+            self._sorted_paths = sorted(self._entries)
         return sorted(dropped)
 
     # ------------------------------------------------------------------
@@ -316,11 +358,12 @@ class CitationFunction:
     # ------------------------------------------------------------------
 
     def to_entries(self) -> list[CitationEntry]:
-        return [self._entries[path] for path in sorted(self._entries)]
+        return [self._entries[path] for path in self._sorted_paths]
 
     @classmethod
     def from_entries(cls, entries: Iterator[CitationEntry] | list[CitationEntry]) -> "CitationFunction":
         function = cls()
         for entry in entries:
             function._entries[entry.path] = entry
+        function._sorted_paths = sorted(function._entries)
         return function

@@ -14,9 +14,10 @@ the benchmark harness are built on.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from datetime import datetime
-from typing import Mapping, Optional
+from typing import Iterator, Mapping, Optional
 
 from repro.errors import CitationConflictError, CitationFileError, MergeConflictError, VCSError
 from repro.citation.citefile import (
@@ -71,14 +72,38 @@ class CopyCiteOutcome:
     destination: str
 
 
-class CitationManager:
-    """Manage the citation function of a repository's working tree."""
+#: Upper bound on distinct parsed ``citation.cite`` blobs kept per manager.
+_PARSE_CACHE_LIMIT = 128
 
-    def __init__(self, repo: Repository, url_base: str = "https://github.com") -> None:
+
+class CitationManager:
+    """Manage the citation function of a repository's working tree.
+
+    Persistence is write-through by default: every operator rewrites
+    ``citation.cite`` immediately, exactly as the paper's local tool does.
+    Bulk workloads can suspend that with :meth:`batch` (or ``autosave=False``
+    plus explicit :meth:`flush`), which defers serialisation until the batch
+    exits — the final file bytes are identical to the write-through ones.
+
+    Committed versions' citation functions are memoised by the blob oid of
+    their ``citation.cite``.  The store is content-addressed, so a cached
+    parse can never go stale; repeated ``cite(path, ref)``, MergeCite and
+    consistency checks stop re-parsing the same bytes.
+    """
+
+    def __init__(
+        self, repo: Repository, url_base: str = "https://github.com", autosave: bool = True
+    ) -> None:
         self.repo = repo
         self.url_base = url_base.rstrip("/")
         self.log = OperationLog()
         self._function: Optional[CitationFunction] = None
+        self.autosave = autosave
+        self._batch_depth = 0
+        self._dirty = False
+        self._deferred_disk_state: Optional[bytes] = None
+        self._function_generation = repo.worktree_generation
+        self._parse_cache: dict[str, CitationFunction] = {}
 
     # ------------------------------------------------------------------
     # Citation file plumbing
@@ -137,42 +162,163 @@ class CitationManager:
             raise CitationFileError(
                 "repository is already citation-enabled; pass overwrite=True to reset it"
             )
-        function = CitationFunction.with_root(root_citation or self.default_root_citation())
-        self._function = function
+        function = self._install_function(
+            CitationFunction.with_root(root_citation or self.default_root_citation())
+        )
         self._save()
         return function
 
     def citation_function(self) -> CitationFunction:
         """The citation function of the current working tree (cached)."""
+        if (
+            self._function is not None
+            and not self._dirty
+            and self._function_generation != self.repo.worktree_generation
+        ):
+            # The working tree was replaced (checkout / merge) since the
+            # cache was filled; deferred state would have been discarded by
+            # the reload hook, so a clean cache is simply re-read.
+            self._function = None
         if self._function is None:
             if not self.is_enabled:
                 raise CitationFileError(
                     f"repository {self.repo.full_name} has no {CITATION_FILE_NAME}; "
                     "run init_citations() (or the retrofit tool) first"
                 )
-            self._function = load_citation_bytes(self.repo.read_file(CITATION_FILE_PATH))
+            self._install_function(
+                load_citation_bytes(self.repo.read_file(CITATION_FILE_PATH))
+            )
         return self._function
 
+    def _install_function(self, function: CitationFunction) -> CitationFunction:
+        self._function = function
+        self._function_generation = self.repo.worktree_generation
+        return function
+
     def reload(self) -> CitationFunction:
-        """Drop the cache and re-read ``citation.cite`` from the working tree."""
+        """Drop the cache and re-read ``citation.cite`` from the working tree.
+
+        Unflushed in-memory changes (``autosave=False`` or an open
+        :meth:`batch`) are discarded, matching the method's contract of
+        reflecting what is actually on disk.
+        """
         self._function = None
+        self._clear_dirty()
         return self.citation_function()
 
     def _save(self) -> None:
+        """Persist the in-memory citation function (deferred inside a batch)."""
+        if self._function is None:
+            return
+        if self._batch_depth > 0 or not self.autosave:
+            if not self._dirty:
+                self._dirty = True
+                # While deferred state exists, any commit — even one issued
+                # directly on the repository — must flush it first, and any
+                # checkout must discard it (it describes the previous
+                # worktree).  Both hooks live exactly as long as the
+                # dirtiness does.
+                self.repo.register_pre_commit_hook(self.flush)
+                self.repo.register_worktree_reload_hook(self._discard_deferred)
+            # Remember what the on-disk file looked like at the latest
+            # deferred operation: a *raw* rewrite arriving after it must win
+            # over the deferral, exactly as it would under write-through.
+            self._deferred_disk_state = self.repo.worktree.get(CITATION_FILE_PATH)
+            return
+        self._write_citation_file()
+
+    def _write_citation_file(self) -> None:
         """Write the in-memory citation function back to the working tree."""
         if self._function is None:
             return
         self.repo.write_file(CITATION_FILE_PATH, dump_citation_bytes(self._function))
+        self._clear_dirty()
 
-    def citation_function_at(self, ref: str) -> CitationFunction:
-        """The citation function stored in a committed version."""
+    def _clear_dirty(self) -> None:
+        if self._dirty:
+            self._dirty = False
+            self.repo.unregister_pre_commit_hook(self.flush)
+            self.repo.unregister_worktree_reload_hook(self._discard_deferred)
+
+    def _discard_deferred(self) -> None:
+        """Drop deferred state when the working tree is replaced wholesale.
+
+        Matches write-through semantics: those writes would have landed in
+        the *previous* worktree and been discarded by the checkout; they
+        must never flush over a different version's ``citation.cite``.
+        """
+        self._function = None
+        self._clear_dirty()
+
+    def flush(self) -> None:
+        """Write any deferred citation changes to the working tree now.
+
+        If ``citation.cite`` was rewritten underneath the deferral (a raw
+        ``repo.write_file``), the later write wins and the deferred state is
+        discarded — the ordering write-through persistence would produce.
+        """
+        if not self._dirty:
+            return
+        current = self.repo.worktree.get(CITATION_FILE_PATH)
+        if current is not self._deferred_disk_state and current != self._deferred_disk_state:
+            self._discard_deferred()
+            return
+        self._write_citation_file()
+
+    @contextmanager
+    def batch(self) -> Iterator["CitationManager"]:
+        """Defer ``citation.cite`` writes until the outermost batch exits.
+
+        Operators inside the batch mutate only the in-memory function; one
+        serialisation happens on exit (even on error, so the file reflects
+        the operations that did succeed — exactly the state write-through
+        persistence would have left behind).  Batches nest; :meth:`commit`
+        inside a batch still flushes first, since a commit must snapshot the
+        current function.
+        """
+        self._batch_depth += 1
         try:
-            data = self.repo.read_file_at(ref, CITATION_FILE_PATH)
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self.flush()
+
+    def _function_at(self, ref: str) -> CitationFunction:
+        """The parsed citation function at ``ref`` — shared cache instance.
+
+        Callers must treat the result as read-only; mutating it would corrupt
+        the cache.  Public callers go through :meth:`citation_function_at`,
+        which returns a copy.
+        """
+        try:
+            blob_oid = self.repo.blob_oid_at(ref, CITATION_FILE_PATH)
         except VCSError as exc:
             raise CitationFileError(
                 f"version {ref!r} of {self.repo.full_name} has no {CITATION_FILE_NAME}"
             ) from exc
-        return load_citation_bytes(data)
+        return self._parse_cached(blob_oid, self.repo.store)
+
+    def _parse_cached(self, blob_oid: str, store) -> CitationFunction:
+        """Parse the ``citation.cite`` blob, memoised by its content oid.
+
+        Content addressing makes the key universal: blobs from *any* store
+        (e.g. a CopyCite source repository) share one cache entry per
+        distinct content.
+        """
+        # Pop-and-reinsert keeps the dict ordered least-recently-used first,
+        # so eviction drops cold entries and hot blobs (HEAD) stay warm.
+        cached = self._parse_cache.pop(blob_oid, None)
+        if cached is None:
+            cached = load_citation_bytes(store.get_blob(blob_oid).data)
+            while len(self._parse_cache) >= _PARSE_CACHE_LIMIT:
+                self._parse_cache.pop(next(iter(self._parse_cache)))
+        self._parse_cache[blob_oid] = cached
+        return cached
+
+    def citation_function_at(self, ref: str) -> CitationFunction:
+        """The citation function stored in a committed version."""
+        return self._function_at(ref).copy()
 
     # ------------------------------------------------------------------
     # The user-facing operators (AddCite / DelCite / ModifyCite / GenCite)
@@ -211,11 +357,11 @@ class CitationManager:
         """Evaluate ``Cite(V,P)(path)`` for the working tree or a committed version."""
         if ref is None:
             return self.citation_function().resolve(path)
-        return self.citation_function_at(ref).resolve(path)
+        return self._function_at(ref).resolve(path)
 
     def cite_chain(self, path: str, ref: Optional[str] = None) -> list[ResolvedCitation]:
         """The alternative all-ancestors interpretation of ``Cite`` (Section 2)."""
-        function = self.citation_function() if ref is None else self.citation_function_at(ref)
+        function = self.citation_function() if ref is None else self._function_at(ref)
         return function.resolve_chain(path)
 
     def refresh_root_citation(self, timestamp: Optional[datetime] = None) -> Citation:
@@ -242,8 +388,17 @@ class CitationManager:
     # ------------------------------------------------------------------
 
     def write_file(self, path: str, data: bytes | str) -> str:
-        """Write a file through the manager (no citation side-effects needed)."""
-        return self.repo.write_file(path, data)
+        """Write a file through the manager (no citation side-effects needed).
+
+        A raw write that targets ``citation.cite`` itself drops the cached
+        in-memory function (and any deferred, unflushed state), so the next
+        read reflects the bytes just written instead of a stale parse.
+        """
+        canonical = self.repo.write_file(path, data)
+        if canonical == CITATION_FILE_PATH:
+            self._function = None
+            self._clear_dirty()
+        return canonical
 
     def move_file(self, source: str, destination: str) -> None:
         """Move/rename a file and carry its citation to the new path."""
@@ -290,6 +445,7 @@ class CitationManager:
     ) -> str:
         """Commit the working tree (including the maintained ``citation.cite``)."""
         self._save()
+        self.flush()  # a commit must snapshot the current function, batched or not
         resolved_message = message or self.log.summary()
         oid = self.repo.commit(
             resolved_message,
@@ -344,10 +500,15 @@ class CitationManager:
             self.repo.write_file(target, data)
             copied.append(target)
 
-        source_manager = CitationManager(source_repo, url_base=self.url_base)
         try:
-            source_function = source_manager.citation_function_at(source_ref)
-        except CitationFileError:
+            source_blob_oid = source_repo.blob_oid_at(source_ref, CITATION_FILE_PATH)
+            # Read-only use: copy_citations mutates only the destination.
+            # Memoised by content oid, so repeated CopyCite from the same
+            # source version parses its citation.cite once.
+            source_function = self._parse_cached(source_blob_oid, source_repo.store)
+        except (VCSError, CitationFileError):
+            # No (or unparseable) source citation file: degrade to a plain
+            # file copy, as the seed behaviour did.
             source_function = None
 
         if source_function is not None:
@@ -395,12 +556,14 @@ class CitationManager:
                 file_conflicts_resolved=(),
             )
 
-        ours_function = self.citation_function_at("HEAD")
-        theirs_function = self.citation_function_at(other_ref)
+        # Shared cache instances: merge_citation_functions reads but never
+        # mutates its inputs, so no defensive copies are needed here.
+        ours_function = self._function_at("HEAD")
+        theirs_function = self._function_at(other_ref)
         base_function: Optional[CitationFunction] = None
         if prepared.base_oid is not None:
             try:
-                base_function = self.citation_function_at(prepared.base_oid)
+                base_function = self._function_at(prepared.base_oid)
             except CitationFileError:
                 base_function = None
 
@@ -450,7 +613,7 @@ class CitationManager:
                 [path for path in exc.conflicts if path != CITATION_FILE_PATH]
             ) from exc
 
-        self._function = citation_result.function
+        self._install_function(citation_result.function)
         self._save()
         return MergeCiteOutcome(
             commit_oid=outcome.commit_oid,
@@ -490,7 +653,9 @@ class CitationManager:
             forked_at=when,
             fork_commit_id=short_id(forked_repo.head_oid()) if forked_repo.head_oid() else None,
         )
-        fork_manager._function = rewrite_fork_root(fork_manager.citation_function(), new_root)
+        fork_manager._install_function(
+            rewrite_fork_root(fork_manager.citation_function(), new_root)
+        )
         fork_manager._save()
         fork_manager.commit(
             message=f"ForkCite from {self.repo.full_name}",

@@ -110,7 +110,14 @@ def merge_citation_functions(
             continue
         assert ours_entry is not None and theirs_entry is not None
         if ours_entry.citation == theirs_entry.citation:
-            merged.put(path, ours_entry.citation, ours_entry.is_directory)
+            # The directory flag is or-ed so the union is commutative even
+            # when the two sides disagree about the node kind (consistency
+            # repair settles such disagreements against the real tree).
+            merged.put(
+                path,
+                ours_entry.citation,
+                ours_entry.is_directory or theirs_entry.is_directory,
+            )
             continue
         base_entry = base.entry(path) if base is not None else None
         conflict = CitationConflict(

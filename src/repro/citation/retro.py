@@ -61,9 +61,17 @@ class FileAttribution:
     last_commit_oid: str = ""
     last_modified: Optional[datetime] = None
     change_count: int = 0
+    # Order-preserving membership index over ``authors``: add_author stays
+    # O(1) on repositories with many contributors instead of scanning the
+    # list on every touched file of every commit.
+    _author_index: set[str] = field(default_factory=set, repr=False, compare=False, init=False)
+
+    def __post_init__(self) -> None:
+        self._author_index = set(self.authors)
 
     def add_author(self, author: str) -> None:
-        if author not in self.authors:
+        if author not in self._author_index:
+            self._author_index.add(author)
             self.authors.append(author)
 
 
@@ -76,27 +84,28 @@ class AttributionIndex:
 
     def directory_authors(self) -> dict[str, list[str]]:
         """Aggregate author lists per directory (including the root)."""
-        directories: dict[str, list[str]] = {ROOT: []}
+        # Buckets are insertion-ordered dicts used as ordered sets, so the
+        # per-directory aggregation is linear in (files × depth × authors)
+        # instead of quadratic in the number of contributors.
+        buckets: dict[str, dict[str, None]] = {ROOT: {}}
         for attribution in self.files.values():
             parent = path_parent(attribution.path)
             while True:
-                bucket = directories.setdefault(parent, [])
+                bucket = buckets.setdefault(parent, {})
                 for author in attribution.authors:
-                    if author not in bucket:
-                        bucket.append(author)
+                    bucket.setdefault(author)
                 if parent == ROOT:
                     break
                 parent = path_parent(parent)
-        return directories
+        return {directory: list(bucket) for directory, bucket in buckets.items()}
 
     def all_authors(self) -> list[str]:
         """Every contributor in first-touched order."""
-        seen: list[str] = []
+        seen: dict[str, None] = {}
         for attribution in self.files.values():
             for author in attribution.authors:
-                if author not in seen:
-                    seen.append(author)
-        return seen
+                seen.setdefault(author)
+        return list(seen)
 
 
 def attribute_history(repo: Repository, ref: str = "HEAD") -> AttributionIndex:

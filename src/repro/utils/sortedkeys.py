@@ -1,0 +1,42 @@
+"""Sorted-key-list maintenance shared by the bisect-backed indexes.
+
+Both :class:`repro.citation.function.CitationFunction` and
+:class:`repro.vcs.index.StagingIndex` keep a sorted list of canonical paths
+next to their hash map so prefix queries become bisect-bounded range scans.
+The insert/remove bookkeeping lives here so the two indexes cannot drift.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+__all__ = ["sorted_insert", "sorted_remove", "descendant_slice"]
+
+
+def sorted_insert(keys: list[str], key: str) -> None:
+    """Insert ``key`` into the sorted list (caller ensures it is new)."""
+    insort(keys, key)
+
+
+def sorted_remove(keys: list[str], key: str) -> None:
+    """Remove ``key`` from the sorted list if present."""
+    position = bisect_left(keys, key)
+    if position < len(keys) and keys[position] == key:
+        del keys[position]
+
+
+def descendant_slice(keys: list[str], prefix: str) -> tuple[int, int]:
+    """Index range in ``keys`` of the strict descendants of canonical ``prefix``.
+
+    Canonical paths make string-prefix and component-ancestor checks agree:
+    every descendant of ``/a`` starts with ``"/a/"``, and those keys form
+    the contiguous range ``["/a/", "/a0")`` ("0" is the successor of "/").
+    The root ``"/"`` is everyone's ancestor, so its range is everything
+    after the root key itself.
+    """
+    if prefix == "/":
+        start = bisect_left(keys, "/")
+        if start < len(keys) and keys[start] == "/":
+            start += 1
+        return start, len(keys)
+    return bisect_left(keys, prefix + "/"), bisect_left(keys, prefix + "0")

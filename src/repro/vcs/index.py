@@ -3,7 +3,17 @@
 The index is the flat set of ``path → (blob id, mode)`` entries that the next
 commit will snapshot.  ``Repository.add`` copies working-tree content into
 blobs and records them here; ``Repository.commit`` turns the index into nested
-tree objects via :func:`repro.vcs.treeops.build_tree`.
+tree objects via :func:`repro.vcs.treeops.build_tree_incremental`.
+
+Two structures make the hot paths cheap:
+
+* a sorted list of staged paths, so the file/directory conflict check in
+  :meth:`StagingIndex.stage` is an O(depth + log n) probe instead of a scan
+  over every staged entry (staging a whole worktree used to be quadratic);
+* a subtree-oid cache from the last materialised tree, so
+  :meth:`StagingIndex.write_tree` only re-serialises and re-hashes the
+  directories whose entries actually changed since the previous
+  ``write_tree``/``read_tree`` — unchanged subtrees reuse their oids.
 """
 
 from __future__ import annotations
@@ -11,10 +21,11 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from repro.errors import IndexError_
-from repro.utils.paths import is_ancestor, normalize_path
+from repro.utils.paths import ROOT, ancestors, normalize_path
+from repro.utils.sortedkeys import descendant_slice, sorted_insert, sorted_remove
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE
-from repro.vcs.treeops import build_tree, flatten_files
+from repro.vcs.treeops import build_tree_incremental, flatten_tree
 
 __all__ = ["StagingIndex"]
 
@@ -24,6 +35,32 @@ class StagingIndex:
 
     def __init__(self) -> None:
         self._entries: dict[str, tuple[str, str]] = {}
+        self._sorted_paths: list[str] = []
+        # State of the last write_tree/read_tree sync: the flat entries it
+        # covered, the directory → tree-oid map it produced, and the store
+        # those oids live in.  write_tree diffs against this to find dirty
+        # directories; everything else is reused by oid.
+        self._synced_entries: dict[str, tuple[str, str]] = {}
+        self._tree_cache: dict[str, str] = {}
+        # Strong reference, compared with `is`: an id() key could be reused
+        # by a different store after garbage collection.
+        self._tree_cache_store: ObjectStore | None = None
+        #: ``{"built": n, "reused": m}`` for the last :meth:`write_tree` call
+        #: (deterministic instrumentation for the perf smoke tests).
+        self.last_write_tree_stats: dict[str, int] = {"built": 0, "reused": 0}
+
+    # -- sorted-path bookkeeping -------------------------------------------
+
+    def _paths_add(self, path: str) -> None:
+        sorted_insert(self._sorted_paths, path)
+
+    def _paths_remove(self, path: str) -> None:
+        sorted_remove(self._sorted_paths, path)
+
+    def _first_descendant(self, path: str) -> str | None:
+        """A staged path strictly beneath ``path``, or ``None``."""
+        lower, upper = descendant_slice(self._sorted_paths, path)
+        return self._sorted_paths[lower] if lower < upper else None
 
     # -- mutation ----------------------------------------------------------
 
@@ -34,11 +71,18 @@ class StagingIndex:
             raise IndexError_("cannot stage the repository root as a file")
         if mode == MODE_DIRECTORY:
             raise IndexError_("directories are created implicitly; stage files only")
-        for existing in self._entries:
-            if is_ancestor(canonical, existing) or is_ancestor(existing, canonical):
+        if canonical not in self._entries:
+            descendant = self._first_descendant(canonical)
+            if descendant is not None:
                 raise IndexError_(
-                    f"staging {canonical!r} conflicts with already-staged path {existing!r}"
+                    f"staging {canonical!r} conflicts with already-staged path {descendant!r}"
                 )
+            for ancestor in ancestors(canonical):
+                if ancestor in self._entries:
+                    raise IndexError_(
+                        f"staging {canonical!r} conflicts with already-staged path {ancestor!r}"
+                    )
+            self._paths_add(canonical)
         self._entries[canonical] = (blob_oid, mode)
 
     def unstage(self, path: str) -> None:
@@ -47,17 +91,22 @@ class StagingIndex:
         if canonical not in self._entries:
             raise IndexError_(f"path is not staged: {canonical!r}")
         del self._entries[canonical]
+        self._paths_remove(canonical)
 
     def discard(self, path: str) -> None:
         """Remove a staged entry if present (no error when absent)."""
-        self._entries.pop(normalize_path(path), None)
+        canonical = normalize_path(path)
+        if self._entries.pop(canonical, None) is not None:
+            self._paths_remove(canonical)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sorted_paths.clear()
 
     def replace(self, entries: Mapping[str, tuple[str, str]]) -> None:
         """Replace the whole index content (used when reading a commit's tree)."""
         self._entries = {normalize_path(path): value for path, value in entries.items()}
+        self._sorted_paths = sorted(self._entries)
 
     # -- queries -----------------------------------------------------------
 
@@ -68,7 +117,7 @@ class StagingIndex:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._entries))
+        return iter(list(self._sorted_paths))
 
     def get(self, path: str) -> tuple[str, str] | None:
         return self._entries.get(normalize_path(path))
@@ -78,7 +127,7 @@ class StagingIndex:
         return dict(self._entries)
 
     def paths(self) -> list[str]:
-        return sorted(self._entries)
+        return list(self._sorted_paths)
 
     @property
     def is_empty(self) -> bool:
@@ -86,13 +135,70 @@ class StagingIndex:
 
     # -- conversion --------------------------------------------------------
 
+    def _dirty_directories(self) -> set[str] | None:
+        """Directories whose subtree changed since the last sync.
+
+        ``None`` means nothing changed at all (the cached root oid is still
+        valid).  An empty sync state marks everything dirty implicitly —
+        directories absent from the cache are always rebuilt.
+        """
+        changed: set[str] = set()
+        for path, value in self._entries.items():
+            if self._synced_entries.get(path) != value:
+                changed.add(path)
+        for path in self._synced_entries:
+            if path not in self._entries:
+                changed.add(path)
+        if not changed:
+            return None
+        dirty: set[str] = set()
+        for path in changed:
+            # The changed path itself is marked too: if it shadows a clean
+            # cached *directory* of the same name (file/dir conflict), the
+            # prune must not fire for that directory.
+            dirty.add(path)
+            for ancestor in ancestors(path):
+                if ancestor in dirty:
+                    break
+                dirty.add(ancestor)
+        return dirty
+
     def write_tree(self, store: ObjectStore) -> str:
         """Materialise the staged entries as nested tree objects.
 
         Returns the root tree id (an empty index yields the empty tree).
+        Unchanged subtrees since the previous ``write_tree``/``read_tree``
+        are emitted by their cached oids without being rebuilt.
         """
-        return build_tree(store, self._entries)
+        if self._tree_cache_store is not store:
+            # Cached oids belong to a different store; start from scratch.
+            self._tree_cache = {}
+            self._synced_entries = {}
+        dirty = self._dirty_directories()
+        if dirty is None and ROOT in self._tree_cache:
+            self.last_write_tree_stats = {"built": 0, "reused": 1}
+            return self._tree_cache[ROOT]
+        root_oid, new_cache, stats = build_tree_incremental(
+            store, self._entries, self._tree_cache, dirty if dirty is not None else {ROOT}
+        )
+        self._tree_cache = new_cache
+        self._tree_cache_store = store
+        self._synced_entries = dict(self._entries)
+        self.last_write_tree_stats = stats
+        return root_oid
 
     def read_tree(self, store: ObjectStore, tree_oid: str) -> None:
-        """Reset the index to the file entries of an existing tree."""
-        self.replace(flatten_files(store, tree_oid))
+        """Reset the index to the file entries of an existing tree.
+
+        The tree's own subtree oids prime the write cache, so the first
+        commit after a checkout only rebuilds what actually changed.
+        """
+        flat = flatten_tree(store, tree_oid)
+        self.replace(
+            {path: value for path, value in flat.items() if value[1] != MODE_DIRECTORY}
+        )
+        self._tree_cache = {
+            path: oid for path, (oid, mode) in flat.items() if mode == MODE_DIRECTORY
+        }
+        self._tree_cache_store = store
+        self._synced_entries = dict(self._entries)

@@ -9,6 +9,7 @@ what lets the Software Heritage identifier simulator compute intrinsic ids.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
 from repro.errors import InvalidObjectError, ObjectNotFoundError
@@ -18,10 +19,21 @@ __all__ = ["ObjectStore"]
 
 
 class ObjectStore:
-    """An in-memory map from object id to (type, payload)."""
+    """An in-memory map from object id to (type, payload).
+
+    A lazily maintained sorted list of ids serves as a prefix index:
+    :meth:`resolve_prefix` does a bisect range probe instead of scanning
+    every stored id.  The list is rebuilt on demand after writes (writes are
+    frequent, abbreviated-id resolution is rare), so ``put`` stays O(1).
+    """
 
     def __init__(self) -> None:
         self._objects: dict[str, tuple[str, bytes]] = {}
+        self._sorted_oids: list[str] = []
+        self._index_stale = False
+        #: Number of sorted-list probes the last ``resolve_prefix`` made
+        #: (deterministic instrumentation for the perf smoke tests).
+        self.last_resolve_scan_steps = 0
 
     # -- writing -----------------------------------------------------------
 
@@ -30,6 +42,7 @@ class ObjectStore:
         oid = obj.oid
         if oid not in self._objects:
             self._objects[oid] = (obj.type_name, obj.serialize())
+            self._index_stale = True
         return oid
 
     def put_many(self, objects: Iterable[VCSObject]) -> list[str]:
@@ -106,12 +119,23 @@ class ObjectStore:
         """
         if len(prefix) < 4:
             raise InvalidObjectError("object id prefixes must have at least 4 characters")
-        matches = [oid for oid in self._objects if oid.startswith(prefix)]
-        if not matches:
+        oids = self._sorted_oid_list()
+        position = bisect_left(oids, prefix)
+        count = 0
+        while position + count < len(oids) and oids[position + count].startswith(prefix):
+            count += 1
+        self.last_resolve_scan_steps = count + 1
+        if count == 0:
             raise ObjectNotFoundError(prefix)
-        if len(matches) > 1:
-            raise InvalidObjectError(f"ambiguous object id prefix {prefix!r} ({len(matches)} matches)")
-        return matches[0]
+        if count > 1:
+            raise InvalidObjectError(f"ambiguous object id prefix {prefix!r} ({count} matches)")
+        return oids[position]
+
+    def _sorted_oid_list(self) -> list[str]:
+        if self._index_stale or len(self._sorted_oids) != len(self._objects):
+            self._sorted_oids = sorted(self._objects)
+            self._index_stale = False
+        return self._sorted_oids
 
     def total_size(self) -> int:
         """Return the total number of payload bytes stored (for benchmarks)."""
@@ -127,22 +151,31 @@ class ObjectStore:
         """Copy raw objects into ``other``; returns the number copied.
 
         When ``oids`` is ``None`` every object is considered; objects already
-        present in ``other`` are skipped.
+        present in ``other`` are skipped.  Missing source ids are detected
+        *before* anything is written, so a failed transfer never leaves
+        ``other`` partially updated.
         """
+        if oids is None:
+            candidates: list[str] = list(self._objects.keys())
+        else:
+            candidates = list(oids)
+            for oid in candidates:
+                # Ids the destination already holds need not exist here.
+                if oid not in self._objects and oid not in other._objects:
+                    raise ObjectNotFoundError(oid)
         copied = 0
-        candidates = self._objects.keys() if oids is None else oids
         for oid in candidates:
             if oid in other._objects:
                 continue
-            try:
-                other._objects[oid] = self._objects[oid]
-            except KeyError:
-                raise ObjectNotFoundError(oid) from None
+            other._objects[oid] = self._objects[oid]
             copied += 1
+        if copied:
+            other._index_stale = True
         return copied
 
     def clone(self) -> "ObjectStore":
         """Return an independent copy of this store."""
         duplicate = ObjectStore()
         duplicate._objects = dict(self._objects)
+        duplicate._index_stale = True
         return duplicate

@@ -25,7 +25,7 @@ from repro.vcs.diff import TreeDiff, diff_trees
 from repro.vcs.index import StagingIndex
 from repro.vcs.merge import MergeResult, find_merge_base, is_ancestor_commit, merge_trees
 from repro.vcs.object_store import ObjectStore
-from repro.vcs.objects import Blob, Commit, Signature, Tag, Tree
+from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Blob, Commit, Signature, Tag, Tree
 from repro.vcs.refs import DEFAULT_BRANCH, RefStore
 from repro.vcs.treeops import flatten_files, lookup_path, subtree_oid
 
@@ -110,6 +110,19 @@ class Repository:
         self.refs = RefStore(default_branch=default_branch)
         self.index = StagingIndex()
         self.worktree: dict[str, bytes] = {}
+        # Callables invoked at the start of commit(), before staging.  The
+        # citation layer registers its flush here so deferred (batched)
+        # citation.cite writes can never be missed by a snapshot, even when
+        # callers commit through the repository directly.
+        self._pre_commit_hooks: list = []
+        # Callables invoked after the working tree is replaced wholesale
+        # (checkout / fast-forward merge), so holders of deferred
+        # worktree-derived state can discard it instead of flushing it over
+        # a different version.  The generation counter lets holders of
+        # *clean* caches detect replacement lazily without registering
+        # anything (no reference pinning).
+        self._worktree_reload_hooks: list = []
+        self._worktree_generation = 0
         self.default_author = Signature(
             name=owner, email=f"{owner.lower().replace(' ', '.')}@example.org", timestamp=now_utc()
         )
@@ -136,6 +149,30 @@ class Repository:
     def full_name(self) -> str:
         """The ``owner/name`` slug used by the hosting platform."""
         return f"{self.owner}/{self.name}"
+
+    def register_pre_commit_hook(self, hook) -> None:
+        """Run ``hook()`` at the start of every :meth:`commit` (idempotent)."""
+        if hook not in self._pre_commit_hooks:
+            self._pre_commit_hooks.append(hook)
+
+    def unregister_pre_commit_hook(self, hook) -> None:
+        """Remove a previously registered pre-commit hook (missing is fine)."""
+        try:
+            self._pre_commit_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def register_worktree_reload_hook(self, hook) -> None:
+        """Run ``hook()`` whenever the working tree is replaced (idempotent)."""
+        if hook not in self._worktree_reload_hooks:
+            self._worktree_reload_hooks.append(hook)
+
+    def unregister_worktree_reload_hook(self, hook) -> None:
+        """Remove a previously registered reload hook (missing is fine)."""
+        try:
+            self._worktree_reload_hooks.remove(hook)
+        except ValueError:
+            pass
 
     def make_signature(self, name: str | None = None, email: str | None = None,
                        timestamp: datetime | None = None) -> Signature:
@@ -255,12 +292,25 @@ class Repository:
     # Staging and committing
     # ------------------------------------------------------------------
 
+    def _run_pre_commit_hooks(self) -> None:
+        for hook in tuple(self._pre_commit_hooks):
+            hook()
+
     def add(self, paths: Iterable[str] | None = None) -> list[str]:
         """Stage working-tree files (all of them when ``paths`` is ``None``)."""
+        # Staging expresses intent to snapshot: deferred-state holders flush
+        # first so the index never captures stale bytes (this also covers
+        # commit(auto_add=False) after a manual add).
+        self._run_pre_commit_hooks()
         if paths is None:
+            # Mirror the worktree wholesale (recording deletions too).  The
+            # worktree already enforces the file/directory invariants, so the
+            # per-path conflict checks of stage() are unnecessary here.
             targets = sorted(self.worktree)
-            # Also record deletions: start from a clean slate mirroring the worktree.
-            self.index.clear()
+            self.index.replace(
+                {path: (self.store.put(Blob(self.worktree[path])), MODE_FILE) for path in targets}
+            )
+            return targets
         else:
             targets = []
             for path in paths:
@@ -297,6 +347,7 @@ class Repository:
         which matches how the GitCite tools operate: every citation operation
         rewrites ``citation.cite`` and the next commit snapshots it.
         """
+        self._run_pre_commit_hooks()
         if auto_add:
             self.add()
         if author is None:
@@ -424,11 +475,22 @@ class Repository:
         self._load_worktree(target)
         return target
 
+    @property
+    def worktree_generation(self) -> int:
+        """Bumped every time the working tree is replaced wholesale."""
+        return self._worktree_generation
+
+    def _notify_worktree_reload(self) -> None:
+        self._worktree_generation += 1
+        for hook in tuple(self._worktree_reload_hooks):
+            hook()
+
     def _load_worktree(self, commit_oid: str) -> None:
         commit = self.store.get_commit(commit_oid)
         files = flatten_files(self.store, commit.tree_oid)
         self.worktree = {path: self.store.get_blob(oid).data for path, (oid, _) in files.items()}
         self.index.read_tree(self.store, commit.tree_oid)
+        self._notify_worktree_reload()
 
     def log(self, ref: str = "HEAD", limit: int | None = None) -> list[CommitInfo]:
         """Return the history reachable from ``ref``, newest first."""
@@ -467,16 +529,24 @@ class Repository:
         files = flatten_files(self.store, tree_oid)
         return {path: self.store.get_blob(oid).data for path, (oid, _) in files.items()}
 
-    def read_file_at(self, ref: str, path: str) -> bytes:
-        """Return a file's content as of the given version."""
+    def blob_oid_at(self, ref: str, path: str) -> str:
+        """Return the blob oid of a file as of the given version.
+
+        The content-addressed oid identifies the file's bytes without
+        reading them — callers that memoise parses key on it.
+        """
         tree_oid = self.tree_oid_of(ref)
         resolved = lookup_path(self.store, tree_oid, path)
         if resolved is None:
             raise VCSError(f"no such file in {ref!r}: {path!r}")
         oid, mode = resolved
-        if mode == "040000":
+        if mode == MODE_DIRECTORY:
             raise VCSError(f"path is a directory in {ref!r}: {path!r}")
-        return self.store.get_blob(oid).data
+        return oid
+
+    def read_file_at(self, ref: str, path: str) -> bytes:
+        """Return a file's content as of the given version."""
+        return self.store.get_blob(self.blob_oid_at(ref, path)).data
 
     def path_exists_at(self, ref: str, path: str) -> bool:
         tree_oid = self.tree_oid_of(ref)
@@ -607,8 +677,11 @@ class Repository:
             for path, content in extra_files.items():
                 files[normalize_path(path)] = content
 
-        # Build the merged tree and commit with both parents.
+        # Build the merged tree and commit with both parents.  Replacing the
+        # worktree wholesale invalidates deferred worktree-derived state,
+        # exactly like a checkout.
         self.worktree = dict(files)
+        self._notify_worktree_reload()
         self.add()
         tree_oid = self.index.write_tree(self.store)
         message = message or f"Merge {other_ref} into {self.current_branch or 'HEAD'}"

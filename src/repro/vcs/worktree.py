@@ -81,6 +81,9 @@ def import_worktree(
     if replace:
         repo.worktree.clear()
         repo.index.clear()
+        # A wholesale replacement, exactly like a checkout: holders of
+        # deferred worktree-derived state must discard it, not flush it.
+        repo._notify_worktree_reload()
     imported: list[str] = []
     for dirpath, dirnames, filenames in os.walk(root):
         current = Path(dirpath)

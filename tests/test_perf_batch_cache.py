@@ -1,0 +1,365 @@
+"""Batched persistence and content-addressed citation caching (perf overhaul).
+
+Two families of guarantees:
+
+* ``CitationManager.batch()`` / ``autosave`` defer ``citation.cite`` writes
+  but must be observationally equivalent to write-through persistence: the
+  final file bytes and the operation log are identical for any operator
+  sequence (checked both on a fixed bulk workload and property-style over
+  random operator sequences).
+* the blob-oid parse cache behind ``cite(path, ref)`` and MergeCite must
+  never serve stale resolutions: working-tree mutations (writes, moves,
+  merges, raw ``citation.cite`` overwrites) are always visible through the
+  documented read paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.citation.citefile import CITATION_FILE_PATH, dump_citation_bytes, load_citation_bytes
+from repro.citation.conflict import OursStrategy
+from repro.citation.function import CitationFunction
+from repro.citation.manager import CitationManager
+from repro.citation.record import Citation
+from repro.errors import CitationError
+from repro.vcs.repository import Repository
+
+T0 = datetime(2018, 9, 1, 12, 0, 0, tzinfo=timezone.utc)
+T1 = datetime(2018, 9, 1, 13, 0, 0, tzinfo=timezone.utc)
+
+PATHS = ["/src/a.py", "/src/b.py", "/src/util/c.py", "/docs/d.md", "/e.txt", "/src/util/f.py"]
+
+
+def _citation(tag: str) -> Citation:
+    return Citation(
+        repo_name="batchdemo",
+        owner="alice",
+        committed_date=T0,
+        commit_id=f"{abs(hash(tag)) % 16**7:07x}",
+        url=f"https://example.org/alice/batchdemo#{tag}",
+        authors=("alice", tag),
+    )
+
+
+def _build_manager() -> CitationManager:
+    repo = Repository.init("batchdemo", "alice")
+    for path in PATHS:
+        repo.write_file(path, f"content of {path}\n")
+    repo.commit("seed", timestamp=T0)
+    manager = CitationManager(repo)
+    manager.init_citations()
+    manager.commit("enable citations", timestamp=T1)
+    return manager
+
+
+def _apply_sequence(manager: CitationManager, operations, batched: bool):
+    """Apply an operator sequence; invalid operators are skipped identically."""
+    context = manager.batch() if batched else nullcontext()
+    with context:
+        for kind, path, citation in operations:
+            try:
+                if kind == "add":
+                    manager.add_cite(path, citation)
+                elif kind == "modify":
+                    manager.modify_cite(path, citation)
+                elif kind == "delete":
+                    manager.del_cite(path)
+                else:
+                    manager.gen_cite(path)
+            except CitationError:
+                continue
+    return manager.repo.read_file(CITATION_FILE_PATH), manager.log.summary()
+
+
+# ---------------------------------------------------------------------------
+# batch() equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestBatchEquivalence:
+    def test_bulk_adds_batched_matches_unbatched(self):
+        operations = [("add", path, _citation(f"op{i}")) for i, path in enumerate(PATHS)]
+        plain_bytes, plain_summary = _apply_sequence(_build_manager(), operations, batched=False)
+        batch_bytes, batch_summary = _apply_sequence(_build_manager(), operations, batched=True)
+        assert batch_bytes == plain_bytes
+        assert batch_summary == plain_summary
+
+    def test_batch_defers_the_write_until_exit(self):
+        manager = _build_manager()
+        before = manager.repo.read_file(CITATION_FILE_PATH)
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("deferred"))
+            assert manager.repo.read_file(CITATION_FILE_PATH) == before
+        assert manager.repo.read_file(CITATION_FILE_PATH) != before
+
+    def test_batch_flushes_on_error(self):
+        manager = _build_manager()
+        with pytest.raises(RuntimeError):
+            with manager.batch():
+                manager.add_cite(PATHS[0], _citation("kept"))
+                raise RuntimeError("operator workload failed")
+        # The operations that succeeded before the failure are persisted,
+        # exactly as write-through persistence would have left them.
+        function = load_citation_bytes(manager.repo.read_file(CITATION_FILE_PATH))
+        assert function.get_explicit(PATHS[0]) is not None
+
+    def test_commit_inside_batch_snapshots_current_state(self):
+        manager = _build_manager()
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("snap"))
+            oid = manager.commit("mid-batch commit")
+        committed = load_citation_bytes(
+            manager.repo.read_file_at(oid, CITATION_FILE_PATH)
+        )
+        assert committed.get_explicit(PATHS[0]) is not None
+
+    def test_direct_repo_commit_inside_batch_flushes_first(self):
+        # Even a commit that bypasses the manager must snapshot the deferred
+        # state (the manager registers a pre-commit flush on the repository).
+        manager = _build_manager()
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("direct"))
+            oid = manager.repo.commit("direct repo commit")
+        committed = load_citation_bytes(
+            manager.repo.read_file_at(oid, CITATION_FILE_PATH)
+        )
+        assert committed.get_explicit(PATHS[0]) is not None
+
+    def test_flush_hook_lives_only_while_dirty(self):
+        manager = _build_manager()
+        repo = manager.repo
+        assert manager.flush not in repo._pre_commit_hooks
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("scoped"))
+            assert manager.flush in repo._pre_commit_hooks
+        # The batch exit flushed; the hook is gone again.
+        assert manager.flush not in repo._pre_commit_hooks
+
+    def test_checkout_discards_deferred_state(self):
+        # Deferred state describes the pre-checkout worktree; a later commit
+        # on the new branch must not be clobbered by a stale flush.
+        manager = _build_manager()
+        repo = manager.repo
+        repo.create_branch("other")
+        manager.autosave = False
+        manager.add_cite(PATHS[0], _citation("stale"))  # deferred, never flushed
+        repo.checkout("other")
+        repo.write_file("/other.txt", "x\n")
+        oid = repo.commit("other work")
+        committed = load_citation_bytes(
+            repo.read_file_at(oid, CITATION_FILE_PATH)
+        )
+        assert committed.get_explicit(PATHS[0]) is None
+        assert repo._pre_commit_hooks == []
+
+    def test_raw_merge_discards_deferred_state(self):
+        # A non-fast-forward repo.merge replaces the worktree like a
+        # checkout does; deferred state must not flush over the merged file.
+        manager = _build_manager()
+        repo = manager.repo
+        repo.create_branch("feature")
+        repo.checkout("feature")
+        manager.reload()
+        manager.add_cite(PATHS[1], _citation("merged-in"))
+        manager.commit("feature cite")
+        repo.checkout(repo.refs.default_branch)
+        manager.reload()
+        manager.add_cite(PATHS[2], _citation("mainline"))
+        manager.commit("mainline cite")
+        feature_bytes = repo.read_file_at("feature", CITATION_FILE_PATH)
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("deferred"))
+            # Bypasses merge_cite; replaces the worktree.  The conflicting
+            # citation.cite is resolved to the feature branch's bytes.
+            repo.merge("feature", resolutions={CITATION_FILE_PATH: feature_bytes})
+        function = load_citation_bytes(manager.repo.read_file(CITATION_FILE_PATH))
+        assert function.get_explicit(PATHS[1]) is not None  # merged-in survives
+        assert function.get_explicit(PATHS[0]) is None  # deferred state discarded
+
+    def test_manual_add_and_commit_without_auto_add_inside_batch(self):
+        # Staging flushes deferred state, so commit(auto_add=False) after a
+        # manual add() snapshots the batched citation like write-through.
+        manager = _build_manager()
+        repo = manager.repo
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("manual-add"))
+            repo.add()
+            oid = repo.commit("manual staging", auto_add=False)
+        committed = load_citation_bytes(
+            repo.read_file_at(oid, CITATION_FILE_PATH)
+        )
+        assert committed.get_explicit(PATHS[0]) is not None
+
+    def test_raw_write_during_batch_wins_over_deferred_state(self):
+        # Under write-through the raw write would land last; the deferred
+        # flush must not clobber it.
+        manager = _build_manager()
+        repo = manager.repo
+        replacement = CitationFunction.with_root(_citation("raw-wins"))
+        with manager.batch():
+            manager.add_cite(PATHS[0], _citation("deferred"))
+            repo.write_file(CITATION_FILE_PATH, dump_citation_bytes(replacement))
+        on_disk = load_citation_bytes(repo.read_file(CITATION_FILE_PATH))
+        assert on_disk.root_citation() == _citation("raw-wins")
+        assert on_disk.get_explicit(PATHS[0]) is None
+        # Ops issued *after* the raw write re-apply on top of it.
+        manager2 = _build_manager()
+        with manager2.batch():
+            manager2.add_cite(PATHS[0], _citation("before"))
+            manager2.repo.write_file(
+                CITATION_FILE_PATH, dump_citation_bytes(replacement)
+            )
+            manager2.reload()
+            manager2.add_cite(PATHS[1], _citation("after"))
+        on_disk2 = load_citation_bytes(manager2.repo.read_file(CITATION_FILE_PATH))
+        assert on_disk2.root_citation() == _citation("raw-wins")
+        assert on_disk2.get_explicit(PATHS[1]) is not None
+
+    def test_autosave_false_defers_until_flush(self):
+        manager = _build_manager()
+        manager.autosave = False
+        before = manager.repo.read_file(CITATION_FILE_PATH)
+        manager.add_cite(PATHS[1], _citation("manual"))
+        assert manager.repo.read_file(CITATION_FILE_PATH) == before
+        manager.flush()
+        assert manager.repo.read_file(CITATION_FILE_PATH) != before
+
+    def test_nested_batches_write_once_at_the_outermost_exit(self):
+        manager = _build_manager()
+        writes: list[str] = []
+        original = manager.repo.write_file
+
+        def counting_write(path, data):
+            writes.append(path)
+            return original(path, data)
+
+        manager.repo.write_file = counting_write
+        try:
+            with manager.batch():
+                manager.add_cite(PATHS[0], _citation("outer"))
+                with manager.batch():
+                    manager.add_cite(PATHS[1], _citation("inner"))
+        finally:
+            manager.repo.write_file = original
+        assert writes.count(CITATION_FILE_PATH) == 1
+
+    _kinds = st.sampled_from(["add", "modify", "delete", "generate"])
+    _ops = st.lists(
+        st.tuples(_kinds, st.sampled_from(PATHS), st.integers(0, 99)), max_size=20
+    )
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=list(HealthCheck))
+    @given(operations=_ops)
+    def test_property_any_sequence_is_equivalent(self, operations):
+        materialised = [
+            (kind, path, _citation(f"c{seed}")) for kind, path, seed in operations
+        ]
+        plain_bytes, plain_summary = _apply_sequence(
+            _build_manager(), materialised, batched=False
+        )
+        batch_bytes, batch_summary = _apply_sequence(
+            _build_manager(), materialised, batched=True
+        )
+        assert batch_bytes == plain_bytes
+        assert batch_summary == plain_summary
+
+
+# ---------------------------------------------------------------------------
+# cache invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestCacheFreshness:
+    def test_cite_after_move_file(self):
+        manager = _build_manager()
+        manager.add_cite(PATHS[0], _citation("moved"))
+        manager.move_file(PATHS[0], "/src/renamed.py")
+        resolved = manager.cite("/src/renamed.py")
+        assert resolved.is_explicit
+        assert resolved.citation == _citation("moved")
+
+    def test_cite_after_manager_write_file_to_citation_cite(self):
+        manager = _build_manager()
+        function = CitationFunction.with_root(_citation("rewritten-root"))
+        function.put(PATHS[2], _citation("rewritten"), is_directory=False)
+        manager.write_file(CITATION_FILE_PATH, dump_citation_bytes(function))
+        # No explicit reload: the manager invalidated its own cache.
+        assert manager.cite(PATHS[2]).citation == _citation("rewritten")
+
+    def test_reload_after_raw_repo_write(self):
+        manager = _build_manager()
+        assert manager.cite(PATHS[2]).inherited
+        function = CitationFunction.with_root(_citation("raw-root"))
+        function.put(PATHS[2], _citation("raw"), is_directory=False)
+        manager.repo.write_file(CITATION_FILE_PATH, dump_citation_bytes(function))
+        manager.reload()
+        assert manager.cite(PATHS[2]).citation == _citation("raw")
+
+    def test_cite_at_ref_is_pinned_while_worktree_moves_on(self):
+        manager = _build_manager()
+        manager.add_cite(PATHS[3], _citation("v1"))
+        v1 = manager.commit("v1")
+        manager.modify_cite(PATHS[3], _citation("v2"))
+        manager.commit("v2")
+        # Repeated cached reads of the pinned version stay at v1 ...
+        for _ in range(3):
+            assert manager.cite(PATHS[3], v1).citation == _citation("v1")
+        # ... while the working tree resolves to v2.
+        assert manager.cite(PATHS[3]).citation == _citation("v2")
+
+    def test_identical_bytes_share_one_parse(self):
+        manager = _build_manager()
+        v1 = manager.commit("checkpoint", allow_empty=True)
+        manager.repo.write_file("/unrelated.txt", "no citation change\n")
+        v2 = manager.commit("unrelated edit")
+        # citation.cite is byte-identical in both versions, so the cache
+        # hands back the very same parsed function object.
+        assert manager._function_at(v1) is manager._function_at(v2)
+
+    def test_copy_cite_degrades_on_malformed_source_citation_file(self):
+        source = Repository.init("lib", "bob")
+        source.write_file("/pkg/a.py", "y\n")
+        source.write_file(CITATION_FILE_PATH, b"{ not json")
+        source.commit("malformed citation file")
+        manager = _build_manager()
+        outcome = manager.copy_cite(source, "/pkg", "/vendor")
+        # Files copied; no citation migration from the unparseable source.
+        assert outcome.copied_files == ("/vendor/a.py",)
+        assert outcome.citation_result.migrated == {}
+        assert manager.repo.file_exists("/vendor/a.py")
+
+    def test_clean_cache_refreshes_after_checkout(self):
+        # A write-through (never dirty) manager must not serve the previous
+        # branch's citations after a checkout, even without reload().
+        manager = _build_manager()
+        repo = manager.repo
+        manager.add_cite(PATHS[0], _citation("v1"))
+        manager.commit("v1")
+        repo.create_branch("other")
+        repo.checkout("other")
+        manager.modify_cite(PATHS[0], _citation("v2"))
+        manager.commit("v2")
+        repo.checkout(repo.refs.default_branch)
+        assert manager.cite(PATHS[0]).citation == _citation("v1")
+
+    def test_cite_after_merge_cite(self):
+        manager = _build_manager()
+        repo = manager.repo
+        repo.create_branch("feature")
+        repo.checkout("feature")
+        manager.reload()
+        manager.add_cite(PATHS[4], _citation("feature"))
+        manager.commit("feature citation")
+        repo.checkout(repo.refs.default_branch)
+        manager.reload()
+        manager.add_cite(PATHS[5], _citation("mainline"))
+        manager.commit("mainline citation")
+        manager.merge_cite("feature", strategy=OursStrategy())
+        assert manager.cite(PATHS[4]).citation == _citation("feature")
+        assert manager.cite(PATHS[5]).citation == _citation("mainline")

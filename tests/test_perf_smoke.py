@@ -1,0 +1,165 @@
+"""Deterministic hot-path regression checks (``perf_smoke`` marker).
+
+These tests pin the *mechanisms* behind the performance work — subtree-oid
+reuse in ``write_tree``, the bisect-backed object-id prefix index, the
+citation parse cache, and the range-scan citation index — via call counts and
+object identity, never wall-clock timing, so tier-1 fails deterministically
+when a hot path regresses to its old complexity.
+
+Run just these with ``pytest -m perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citation.function import CitationFunction
+from repro.citation.manager import CitationManager
+from repro.citation.record import Citation
+from repro.errors import ObjectNotFoundError
+from repro.utils.timeutil import now_utc
+from repro.vcs.object_store import ObjectStore
+from repro.vcs.objects import Blob, Tree
+from repro.vcs.repository import Repository
+from repro.vcs.treeops import subtree_oid
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _citation(tag: str) -> Citation:
+    return Citation(
+        repo_name="perf",
+        owner="alice",
+        committed_date=now_utc(),
+        commit_id="0000000",
+        url=f"https://example.org/alice/perf#{tag}",
+        authors=("alice",),
+    )
+
+
+class TestWriteTreeReuse:
+    def test_unchanged_subtrees_reuse_their_oids(self):
+        repo = Repository.init("perf", "alice")
+        for i in range(5):
+            repo.write_file(f"/a/f{i}.txt", f"a{i}\n")
+            repo.write_file(f"/b/f{i}.txt", f"b{i}\n")
+        first = repo.commit("seed")
+        stats = repo.index.last_write_tree_stats
+        assert stats == {"built": 3, "reused": 0}  # '/', '/a', '/b'
+        b_before = subtree_oid(repo.store, repo.store.get_commit(first).tree_oid, "/b")
+
+        repo.write_file("/a/f0.txt", "changed\n")
+        second = repo.commit("edit under /a")
+        stats = repo.index.last_write_tree_stats
+        assert stats["reused"] == 1  # '/b' emitted from the cache
+        assert stats["built"] == 2  # only '/' and '/a' re-hashed
+        b_after = subtree_oid(repo.store, repo.store.get_commit(second).tree_oid, "/b")
+        assert b_after == b_before
+
+    def test_tree_puts_are_bounded_by_the_dirty_path(self):
+        repo = Repository.init("perf", "alice")
+        for d in range(8):
+            for i in range(4):
+                repo.write_file(f"/dir{d}/f{i}.txt", f"{d}.{i}\n")
+        repo.commit("seed")
+
+        puts: list[str] = []
+        original_put = repo.store.put
+
+        def counting_put(obj):
+            if isinstance(obj, Tree):
+                puts.append(obj.oid)
+            return original_put(obj)
+
+        repo.store.put = counting_put
+        try:
+            repo.write_file("/dir3/f0.txt", "changed\n")
+            repo.commit("edit one file")
+        finally:
+            repo.store.put = original_put
+        # One put for '/dir3', one for '/' — the other 7 subtrees are reused.
+        assert len(puts) == 2
+        assert repo.index.last_write_tree_stats["reused"] == 7
+
+    def test_checkout_primes_the_cache(self):
+        repo = Repository.init("perf", "alice")
+        repo.write_file("/a/one.txt", "1\n")
+        repo.write_file("/b/two.txt", "2\n")
+        first = repo.commit("seed")
+        repo.write_file("/a/one.txt", "1b\n")
+        repo.commit("edit")
+        repo.checkout(first)
+        repo.write_file("/b/two.txt", "2b\n")
+        repo.commit("edit after checkout")
+        # read_tree primed the cache, so '/a' was reused, not rebuilt.
+        assert repo.index.last_write_tree_stats["reused"] >= 1
+
+
+class TestResolvePrefixIndex:
+    def test_resolution_probes_are_bounded(self):
+        store = ObjectStore()
+        oids = [store.put(Blob(f"payload {i}\n".encode())) for i in range(512)]
+        target = oids[123]
+        assert store.resolve_prefix(target[:10]) == target
+        # A bisect probe touches the match plus its sorted neighbour — not
+        # the whole store.
+        assert store.last_resolve_scan_steps <= 2
+
+        with pytest.raises(ObjectNotFoundError):
+            store.resolve_prefix("f" * 12 if not target.startswith("f" * 12) else "0" * 12)
+        assert store.last_resolve_scan_steps <= 2
+
+    def test_index_tracks_later_writes(self):
+        store = ObjectStore()
+        store.put(Blob(b"first"))
+        first = store.put(Blob(b"first"))
+        assert store.resolve_prefix(first[:10]) == first
+        second = store.put(Blob(b"second"))
+        assert store.resolve_prefix(second[:10]) == second
+        assert store.last_resolve_scan_steps <= 2
+
+
+class TestCitationParseCache:
+    def test_repeated_cite_at_ref_parses_once(self, monkeypatch):
+        repo = Repository.init("perf", "alice")
+        repo.write_file("/src/a.py", "pass\n")
+        repo.commit("seed")
+        manager = CitationManager(repo)
+        manager.init_citations()
+        ref = manager.commit("enable citations")
+
+        calls = {"n": 0}
+        import repro.citation.manager as manager_module
+
+        original = manager_module.load_citation_bytes
+
+        def counting_load(data):
+            calls["n"] += 1
+            return original(data)
+
+        monkeypatch.setattr(manager_module, "load_citation_bytes", counting_load)
+        for _ in range(25):
+            manager.cite("/src/a.py", ref)
+        assert calls["n"] == 1
+
+
+class TestCitationFunctionRangeIndex:
+    def test_entries_under_uses_string_safe_ranges(self):
+        function = CitationFunction.with_root(_citation("root"))
+        function.put("/a", _citation("a"), is_directory=True)
+        function.put("/ab", _citation("ab"), is_directory=False)  # sorts next to '/a'
+        function.put("/a/x.txt", _citation("ax"), is_directory=False)
+        function.put("/a/y/z.txt", _citation("ayz"), is_directory=False)
+        under = [entry.path for entry in function.entries_under("/a")]
+        assert under == ["/a", "/a/x.txt", "/a/y/z.txt"]
+        under_root = [entry.path for entry in function.entries_under("/", include_prefix=False)]
+        assert under_root == ["/a", "/a/x.txt", "/a/y/z.txt", "/ab"]
+
+    def test_rename_prefix_moves_exactly_the_subtree(self):
+        function = CitationFunction.with_root(_citation("root"))
+        function.put("/a", _citation("a"), is_directory=True)
+        function.put("/ab", _citation("ab"), is_directory=False)
+        function.put("/a/x.txt", _citation("ax"), is_directory=False)
+        moves = function.rename_prefix("/a", "/z")
+        assert moves == {"/a": "/z", "/a/x.txt": "/z/x.txt"}
+        assert function.active_domain() == ["/", "/ab", "/z", "/z/x.txt"]

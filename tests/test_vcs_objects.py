@@ -164,6 +164,40 @@ class TestObjectStore:
         assert source.copy_objects_to(destination) == 0
         assert destination.get_blob(oid).data == b"payload"
 
+    def test_copy_objects_to_validates_before_mutating(self):
+        source, destination = ObjectStore(), ObjectStore()
+        present = source.put(Blob(b"present"))
+        missing = "f" * len(present)
+        with pytest.raises(ObjectNotFoundError):
+            source.copy_objects_to(destination, [present, missing])
+        # The failed transfer must not have partially updated the destination.
+        assert len(destination) == 0
+        assert present not in destination
+
+    def test_copy_objects_to_tolerates_oids_already_in_destination(self):
+        source, destination = ObjectStore(), ObjectStore()
+        wanted = source.put(Blob(b"wanted"))
+        already_there = destination.put(Blob(b"already there"))
+        # The destination holds `already_there`, so the source not having it
+        # is fine — the old skip semantics are preserved.
+        assert source.copy_objects_to(destination, [already_there, wanted]) == 1
+        assert wanted in destination
+
+    def test_resolve_prefix_ambiguous(self):
+        store = ObjectStore()
+        # Fixed payloads give fixed hashes, so the first 4-hex-char collision
+        # among 2000 ids is deterministic (and all but guaranteed to exist).
+        by_prefix: dict[str, str] = {}
+        ambiguous = None
+        for i in range(2000):
+            oid = store.put(Blob(f"object {i}".encode()))
+            if ambiguous is None and oid[:4] in by_prefix and by_prefix[oid[:4]] != oid:
+                ambiguous = oid[:4]
+            by_prefix.setdefault(oid[:4], oid)
+        assert ambiguous is not None
+        with pytest.raises(InvalidObjectError):
+            store.resolve_prefix(ambiguous)
+
     def test_clone_is_independent(self):
         store = ObjectStore()
         store.put(Blob(b"a"))

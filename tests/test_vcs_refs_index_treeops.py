@@ -128,6 +128,49 @@ class TestStagingIndex:
         fresh.read_tree(store, tree_oid)
         assert fresh.entries() == index.entries()
 
+    @pytest.mark.parametrize(
+        "entries",
+        [
+            {"/a": ("0" * 40, "100644"), "/a/b": ("1" * 40, "100644")},
+            {"/a/b": ("1" * 40, "100644"), "/a": ("0" * 40, "100644")},
+        ],
+        ids=["ancestor-first", "descendant-first"],
+    )
+    def test_write_tree_rejects_conflicts_smuggled_via_replace(self, entries):
+        # replace() skips stage()'s conflict checks; the tree builder must
+        # still refuse to materialise a path that is both file and directory.
+        store = ObjectStore()
+        index = StagingIndex()
+        index.replace(entries)
+        with pytest.raises(VCSError):
+            index.write_tree(store)
+
+    def test_write_tree_rejects_conflict_against_warm_clean_subtree(self):
+        # Warm-cache variant: '/a' is a clean cached directory from the
+        # previous sync; a new file '/a' smuggled in via replace() must not
+        # let the subtree prune silently drop either entry.
+        store = ObjectStore()
+        index = StagingIndex()
+        blob = store.put(Blob(b"content"))
+        index.stage("/a/b", blob)
+        index.stage("/other/c", blob)
+        index.write_tree(store)
+        index.replace({"/a": (blob, "100644"), "/a/b": (blob, "100644")})
+        with pytest.raises(VCSError):
+            index.write_tree(store)
+
+    def test_write_tree_cache_is_per_store(self):
+        index = StagingIndex()
+        store_a = ObjectStore()
+        index.stage("/a.txt", store_a.put(Blob(b"a")))
+        tree = index.write_tree(store_a)
+        store_b = ObjectStore()
+        store_b.put(Blob(b"a"))
+        # Same logical content, different store: the rebuilt tree must
+        # actually exist in store_b rather than being served from the cache.
+        assert index.write_tree(store_b) == tree
+        assert tree in store_b
+
 
 class TestTreeOps:
     @pytest.fixture
