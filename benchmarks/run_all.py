@@ -37,6 +37,7 @@ import json
 import random
 import subprocess
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -45,12 +46,15 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes  # noqa: E402
-from repro.citation.function import CitationFunction  # noqa: E402
+from repro.cli.storage import load_repository, save_repository  # noqa: E402
 from repro.citation.retro import AttributionIndex, FileAttribution  # noqa: E402
 from repro.utils.paths import ROOT, is_ancestor, path_parent  # noqa: E402
 from repro.utils.timeutil import FixedClock, reset_clock, set_clock  # noqa: E402
 from repro.vcs.object_store import ObjectStore  # noqa: E402
 from repro.vcs.objects import Blob  # noqa: E402
+from repro.vcs.remote import clone_repository  # noqa: E402
+from repro.vcs.repository import Repository  # noqa: E402
+from repro.vcs.storage import make_backend  # noqa: E402
 from repro.vcs.treeops import build_tree  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
     WorkloadConfig,
@@ -310,6 +314,113 @@ def bench_retro_directory_authors(num_files: int = 1500, num_authors: int = 60) 
     }
 
 
+# ---------------------------------------------------------------------------
+# Storage-backend scenarios (PR 2)
+# ---------------------------------------------------------------------------
+
+#: Every commit in the storage scenarios is pinned to one timestamp so the
+#: three backends produce byte-identical histories (the identity check).
+_STORAGE_STAMP = datetime(2018, 9, 1, 12, 0, 0, tzinfo=timezone.utc)
+_STORAGE_KINDS = ("memory", "loose", "pack")
+
+
+def _build_storage_repo(storage, num_files: int, num_commits: int) -> Repository:
+    repo = Repository.init("bench", "alice", storage=storage)
+    body = "".join(f"x{i} = {i}\n" for i in range(25))
+    for i in range(num_files):
+        repo.write_file(f"src/pkg{i % 20}/module_{i}.py", f"# module {i}\n{body}")
+    repo.commit("initial", author_name="alice", timestamp=_STORAGE_STAMP)
+    for round_number in range(num_commits):
+        for slot in range(10):
+            index = (round_number * 10 + slot) % num_files
+            repo.write_file(
+                f"src/pkg{index % 20}/module_{index}.py",
+                f"# module {index} revision {round_number}\n{body}",
+            )
+        repo.commit(f"round {round_number}", author_name="alice", timestamp=_STORAGE_STAMP)
+    return repo
+
+
+def bench_storage_bulk_commit(num_files: int = 300, num_commits: int = 15) -> dict:
+    """Bulk commits per backend: one file per object (loose) vs buffered packs.
+
+    ``baseline_s`` is the loose layout (the natural on-disk design), and
+    ``optimized_s`` the pack layout; the in-memory time is reported alongside
+    as the floor.  All three must end on the identical head commit.
+    """
+    timings: dict[str, float] = {}
+    heads: dict[str, str] = {}
+    disk_bytes: dict[str, int] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for kind in _STORAGE_KINDS:
+            storage = None if kind == "memory" else make_backend(kind, Path(tmp) / kind)
+            holder: dict[str, Repository] = {}
+
+            def run(storage=storage, holder=holder):
+                repo = _build_storage_repo(storage, num_files, num_commits)
+                repo.store.flush()
+                holder["repo"] = repo
+
+            timings[kind] = _timed(run)
+            heads[kind] = holder["repo"].head_oid()
+            stats = holder["repo"].store.backend.stats()
+            disk_bytes[kind] = stats.get("disk_bytes", stats.get("payload_bytes", 0))
+    return {
+        "baseline_s": timings["loose"],
+        "optimized_s": timings["pack"],
+        "speedup": timings["loose"] / timings["pack"],
+        "outputs_identical": len(set(heads.values())) == 1,
+        "memory_s": timings["memory"],
+        "loose_s": timings["loose"],
+        "pack_s": timings["pack"],
+        "disk_bytes": disk_bytes,
+        "files": num_files,
+        "commits": num_commits + 1,
+    }
+
+
+def bench_storage_cold_open(num_files: int = 250, num_commits: int = 40) -> dict:
+    """Cold open of a saved working copy (load + full HEAD snapshot) per layout.
+
+    ``baseline_s`` is the seed's format (every object embedded base64 in
+    ``state.json``); ``optimized_s`` is the pack layout, which only touches
+    the fanout indexes plus the objects the snapshot actually reads.
+    """
+    source = _build_storage_repo(None, num_files, num_commits)
+    timings: dict[str, float] = {}
+    snapshots: dict[str, dict] = {}
+    heads: dict[str, str] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for kind in _STORAGE_KINDS:
+            directory = Path(tmp) / f"working-copy-{kind}"
+            save_repository(clone_repository(source), directory, storage=kind)
+            holder: dict[str, object] = {}
+
+            def run(directory=directory, holder=holder):
+                repo = load_repository(directory)
+                holder["snapshot"] = repo.snapshot()
+                holder["head"] = repo.head_oid()
+
+            timings[kind] = _timed(run)
+            snapshots[kind] = holder["snapshot"]
+            heads[kind] = holder["head"]
+    identical = (
+        len(set(heads.values())) == 1
+        and snapshots["memory"] == snapshots["loose"] == snapshots["pack"]
+    )
+    return {
+        "baseline_s": timings["memory"],
+        "optimized_s": timings["pack"],
+        "speedup": timings["memory"] / timings["pack"],
+        "outputs_identical": identical,
+        "memory_s": timings["memory"],
+        "loose_s": timings["loose"],
+        "pack_s": timings["pack"],
+        "files": num_files,
+        "commits": num_commits + 1,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -317,6 +428,8 @@ SCENARIOS = {
     "resolve_prefix": bench_resolve_prefix,
     "entries_under": bench_entries_under,
     "retro_directory_authors": bench_retro_directory_authors,
+    "storage_bulk_commit": bench_storage_bulk_commit,
+    "storage_cold_open": bench_storage_cold_open,
 }
 
 

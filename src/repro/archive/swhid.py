@@ -21,7 +21,6 @@ from __future__ import annotations
 from repro.errors import ArchiveError
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.repository import Repository
-from repro.vcs.treeops import subtree_oid
 
 __all__ = [
     "SWHID_SCHEME_VERSION",

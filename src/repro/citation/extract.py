@@ -18,7 +18,7 @@ which can be rendered as text, BibTeX or any other registered format through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.citation.function import CitationFunction, ResolvedCitation
 from repro.citation.record import Citation

@@ -14,7 +14,7 @@ and conflict-resolution semantics easy to reason about).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from datetime import datetime
 from typing import Any, Mapping, Optional
 

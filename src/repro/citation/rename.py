@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.citation.function import CitationFunction
-from repro.utils.paths import ROOT, is_ancestor, path_parent, relative_to, rewrite_prefix
+from repro.utils.paths import ROOT, path_parent, relative_to
 from repro.vcs.diff import TreeDiff
 
 __all__ = ["RenamePropagation", "propagate_renames", "propagate_diff"]

@@ -20,7 +20,7 @@ from repro.citation.conflict import strategy_by_name
 from repro.citation.manager import CitationManager
 from repro.citation.record import Citation
 from repro.citation.retro import retrofit
-from repro.formats import available_formats, render
+from repro.formats import render
 from repro.utils.timeutil import now_utc, parse_timestamp
 from repro.vcs.repository import Repository
 from repro.cli.storage import is_working_copy, load_repository, save_repository
@@ -104,7 +104,7 @@ def cmd_init(args: argparse.Namespace) -> int:
     imported = import_worktree(repo, directory)
     if imported or args.allow_empty:
         repo.commit(args.message or "Initial commit", author_name=args.owner, timestamp=now_utc())
-    save_repository(repo, directory)
+    save_repository(repo, directory, storage=getattr(args, "storage", None))
     _print(f"Initialised gitcite repository {repo.full_name} with {len(imported)} file(s)")
     return 0
 

@@ -16,6 +16,8 @@ __all__ = [
     "InvalidObjectError",
     "RefError",
     "IndexError_",
+    "StorageError",
+    "CorruptObjectError",
     "CheckoutError",
     "MergeError",
     "MergeConflictError",
@@ -72,6 +74,18 @@ class RefError(VCSError):
 
 class IndexError_(VCSError):
     """The staging index was used incorrectly (e.g. path outside the tree)."""
+
+
+class StorageError(VCSError):
+    """A storage backend could not be created, opened or written."""
+
+
+class CorruptObjectError(StorageError):
+    """On-disk object data failed its integrity check when read back."""
+
+    def __init__(self, oid: str, detail: str) -> None:
+        super().__init__(f"corrupt object {oid}: {detail}")
+        self.oid = oid
 
 
 class CheckoutError(VCSError):

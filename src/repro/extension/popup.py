@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import CitationError, PermissionDeniedError
+from repro.errors import CitationError
 from repro.citation.record import Citation
 from repro.extension.client import ExtensionClient
 from repro.utils.paths import normalize_path

@@ -24,10 +24,9 @@ from repro.hub.models import AccessToken, HostedRepository, Permission, User
 from repro.hub.ratelimit import RateLimiter
 from repro.utils.paths import normalize_path
 from repro.utils.timeutil import now_utc
-from repro.vcs.objects import Signature
 from repro.vcs.remote import clone_repository, fork_repository, push
 from repro.vcs.repository import Repository
-from repro.vcs.treeops import flatten_tree, lookup_path
+from repro.vcs.treeops import flatten_tree
 
 __all__ = ["HostingPlatform"]
 

@@ -23,6 +23,13 @@ what makes the paper's Listing 1 reproducible byte-for-byte.
 
 from repro.vcs.objects import Blob, Commit, Signature, Tag, Tree, TreeEntry
 from repro.vcs.object_store import ObjectStore
+from repro.vcs.storage import (
+    LooseFileBackend,
+    MemoryBackend,
+    ObjectBackend,
+    PackBackend,
+    make_backend,
+)
 from repro.vcs.refs import RefStore
 from repro.vcs.index import StagingIndex
 from repro.vcs.diff import DiffEntry, TreeDiff, diff_trees
@@ -38,6 +45,11 @@ __all__ = [
     "Tree",
     "TreeEntry",
     "ObjectStore",
+    "ObjectBackend",
+    "MemoryBackend",
+    "LooseFileBackend",
+    "PackBackend",
+    "make_backend",
     "RefStore",
     "StagingIndex",
     "DiffEntry",

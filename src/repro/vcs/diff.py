@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass, field
-from typing import Iterable
+
 
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.treeops import flatten_files

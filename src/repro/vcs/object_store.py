@@ -5,44 +5,74 @@ deterministic function of their content.  Storing the same object twice is a
 no-op, and two repositories that contain the same files share object ids —
 which is what makes clone/fork/push cheap (only missing objects move) and
 what lets the Software Heritage identifier simulator compute intrinsic ids.
+
+Since PR 2 the store is a thin facade over a pluggable
+:class:`~repro.vcs.storage.ObjectBackend` (in-memory dict, sharded loose
+files, or delta-compressed pack files — see :mod:`repro.vcs.storage`), with a
+small LRU cache of deserialised objects in front of the backend so hot reads
+skip both I/O and parsing.  The public API is unchanged from the in-memory
+era; callers pick a layout at construction time and nothing else.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Iterable, Iterator
 
 from repro.errors import InvalidObjectError, ObjectNotFoundError
 from repro.vcs.objects import Blob, Commit, Tag, Tree, VCSObject, deserialize_object
+from repro.vcs.storage import BackendSpec, MemoryBackend, ObjectBackend, make_backend
 
-__all__ = ["ObjectStore"]
+__all__ = ["ObjectStore", "DEFAULT_CACHE_SIZE"]
+
+#: Deserialised objects kept hot in front of the backend.
+DEFAULT_CACHE_SIZE = 512
 
 
 class ObjectStore:
-    """An in-memory map from object id to (type, payload).
+    """A typed object map over a pluggable storage backend.
 
     A lazily maintained sorted list of ids serves as a prefix index:
     :meth:`resolve_prefix` does a bisect range probe instead of scanning
-    every stored id.  The list is rebuilt on demand after writes (writes are
-    frequent, abbreviated-id resolution is rare), so ``put`` stays O(1).
+    every stored id.  The list records the backend's mutation counter when
+    built and is rebuilt whenever the counter has moved — so writes that
+    reach the backend without going through :meth:`put` (raw transfers,
+    migrations) invalidate it too, not just facade-level writes.
     """
 
-    def __init__(self) -> None:
-        self._objects: dict[str, tuple[str, bytes]] = {}
+    def __init__(self, backend: BackendSpec = None, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self._backend = make_backend(backend)
+        self._cache: OrderedDict[str, VCSObject] = OrderedDict()
+        self._cache_size = cache_size
         self._sorted_oids: list[str] = []
-        self._index_stale = False
+        self._indexed_mutation = -1
         #: Number of sorted-list probes the last ``resolve_prefix`` made
         #: (deterministic instrumentation for the perf smoke tests).
         self.last_resolve_scan_steps = 0
+
+    @property
+    def backend(self) -> ObjectBackend:
+        """The storage backend this store reads and writes through."""
+        return self._backend
+
+    def _cache_insert(self, oid: str, obj: VCSObject) -> None:
+        if self._cache_size <= 0:
+            return
+        self._cache[oid] = obj
+        self._cache.move_to_end(oid)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
 
     # -- writing -----------------------------------------------------------
 
     def put(self, obj: VCSObject) -> str:
         """Store ``obj`` and return its id (idempotent)."""
         oid = obj.oid
-        if oid not in self._objects:
-            self._objects[oid] = (obj.type_name, obj.serialize())
-            self._index_stale = True
+        if oid in self._cache:
+            return oid  # cached ⇒ already stored; skip the backend probe
+        if self._backend.write(oid, obj.type_name, obj.serialize()):
+            self._cache_insert(oid, obj)
         return oid
 
     def put_many(self, objects: Iterable[VCSObject]) -> list[str]:
@@ -59,16 +89,25 @@ class ObjectStore:
         ObjectNotFoundError
             If no object with that id is stored.
         """
+        cached = self._cache.get(oid)
+        if cached is not None:
+            self._cache.move_to_end(oid)
+            return cached
         try:
-            object_type, payload = self._objects[oid]
+            object_type, payload = self._backend.read(oid)
         except KeyError:
             raise ObjectNotFoundError(oid) from None
-        return deserialize_object(object_type, payload)
+        obj = deserialize_object(object_type, payload)
+        self._cache_insert(oid, obj)
+        return obj
 
     def get_type(self, oid: str) -> str:
         """Return the type name of a stored object without deserialising it."""
+        cached = self._cache.get(oid)
+        if cached is not None:
+            return cached.type_name
         try:
-            return self._objects[oid][0]
+            return self._backend.read_type(oid)
         except KeyError:
             raise ObjectNotFoundError(oid) from None
 
@@ -95,17 +134,21 @@ class ObjectStore:
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, oid: str) -> bool:
-        return oid in self._objects
+        return oid in self._cache or oid in self._backend
 
     def __len__(self) -> int:
-        return len(self._objects)
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._objects)
+        return self.iter_oids()
+
+    def iter_oids(self) -> Iterator[str]:
+        """Iterate over every stored object id."""
+        return iter(self._backend.iter_oids())
 
     def object_ids(self) -> list[str]:
         """Return all stored object ids (unordered semantics, sorted output)."""
-        return sorted(self._objects)
+        return sorted(self._backend.iter_oids())
 
     def resolve_prefix(self, prefix: str) -> str:
         """Expand an abbreviated object id to the unique full id.
@@ -132,20 +175,59 @@ class ObjectStore:
         return oids[position]
 
     def _sorted_oid_list(self) -> list[str]:
-        if self._index_stale or len(self._sorted_oids) != len(self._objects):
-            self._sorted_oids = sorted(self._objects)
-            self._index_stale = False
+        if self._indexed_mutation != self._backend.mutation_counter:
+            self._sorted_oids = sorted(self._backend.iter_oids())
+            self._indexed_mutation = self._backend.mutation_counter
         return self._sorted_oids
 
     def total_size(self) -> int:
         """Return the total number of payload bytes stored (for benchmarks)."""
-        return sum(len(payload) for _, payload in self._objects.values())
+        return self._backend.total_payload_size()
+
+    # -- persistence -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Make buffered backend writes durable (no-op for most backends)."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources; the store stays usable."""
+        self._backend.close()
+
+    def migrate_backend(self, new_backend: ObjectBackend) -> int:
+        """Copy every object into ``new_backend`` and adopt it; returns the count.
+
+        The store keeps its identity (callers holding references see the new
+        layout transparently); the old backend is left untouched so the
+        caller can delete or archive it.
+        """
+        moved = 0
+        for oid in self._backend.iter_oids():
+            if oid in new_backend:
+                continue
+            object_type, payload = self._backend.read(oid)
+            new_backend.write(oid, object_type, payload)
+            moved += 1
+        new_backend.flush()
+        self._backend = new_backend
+        self._cache.clear()
+        self._indexed_mutation = -1
+        return moved
+
+    def gc(self, keep: set[str]) -> int:
+        """Drop every object not in ``keep``; returns how many were removed."""
+        removed = self._backend.gc(set(keep))
+        if removed:
+            self._cache = OrderedDict(
+                (oid, obj) for oid, obj in self._cache.items() if oid in keep
+            )
+        return removed
 
     # -- transfer ----------------------------------------------------------
 
     def missing_from(self, other: "ObjectStore") -> list[str]:
         """Return ids present here but absent from ``other`` (push planning)."""
-        return sorted(oid for oid in self._objects if oid not in other)
+        return sorted(oid for oid in self._backend.iter_oids() if oid not in other._backend)
 
     def copy_objects_to(self, other: "ObjectStore", oids: Iterable[str] | None = None) -> int:
         """Copy raw objects into ``other``; returns the number copied.
@@ -153,29 +235,28 @@ class ObjectStore:
         When ``oids`` is ``None`` every object is considered; objects already
         present in ``other`` are skipped.  Missing source ids are detected
         *before* anything is written, so a failed transfer never leaves
-        ``other`` partially updated.
+        ``other`` partially updated.  Source and destination may use
+        different backend layouts — payloads move as raw bytes either way.
         """
         if oids is None:
-            candidates: list[str] = list(self._objects.keys())
+            candidates: list[str] = list(self._backend.iter_oids())
         else:
             candidates = list(oids)
             for oid in candidates:
                 # Ids the destination already holds need not exist here.
-                if oid not in self._objects and oid not in other._objects:
+                if oid not in self._backend and oid not in other._backend:
                     raise ObjectNotFoundError(oid)
         copied = 0
         for oid in candidates:
-            if oid in other._objects:
+            if oid in other._backend:
                 continue
-            other._objects[oid] = self._objects[oid]
+            object_type, payload = self._backend.read(oid)
+            other._backend.write(oid, object_type, payload)
             copied += 1
-        if copied:
-            other._index_stale = True
         return copied
 
     def clone(self) -> "ObjectStore":
-        """Return an independent copy of this store."""
-        duplicate = ObjectStore()
-        duplicate._objects = dict(self._objects)
-        duplicate._index_stale = True
+        """Return an independent in-memory copy of this store."""
+        duplicate = ObjectStore(MemoryBackend())
+        self.copy_objects_to(duplicate)
         return duplicate

@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.errors import RemoteError
 from repro.vcs.merge import commit_ancestors, is_ancestor_commit
 from repro.vcs.object_store import ObjectStore
-from repro.vcs.objects import Commit
 from repro.vcs.repository import Repository
 from repro.vcs.treeops import flatten_tree
 

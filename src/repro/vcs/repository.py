@@ -14,18 +14,20 @@ reproduction fast and hermetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
 from typing import Iterable, Mapping, Optional
 
 from repro.errors import CheckoutError, MergeConflictError, MergeError, RefError, VCSError
-from repro.utils.paths import ROOT, is_ancestor, join_path, normalize_path, relative_to
+from repro.utils.paths import ROOT, ancestors, is_ancestor, join_path, normalize_path, relative_to
+from repro.utils.sortedkeys import descendant_slice
 from repro.utils.timeutil import now_utc
 from repro.vcs.diff import TreeDiff, diff_trees
 from repro.vcs.index import StagingIndex
-from repro.vcs.merge import MergeResult, find_merge_base, is_ancestor_commit, merge_trees
+from repro.vcs.merge import MergeResult, find_merge_base, merge_trees
 from repro.vcs.object_store import ObjectStore
-from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Blob, Commit, Signature, Tag, Tree
+from repro.vcs.storage import BackendSpec
+from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Blob, Commit, Signature, Tag
 from repro.vcs.refs import DEFAULT_BRANCH, RefStore
 from repro.vcs.treeops import flatten_files, lookup_path, subtree_oid
 
@@ -98,6 +100,7 @@ class Repository:
         owner: str,
         default_branch: str = DEFAULT_BRANCH,
         description: str = "",
+        storage: BackendSpec = None,
     ) -> None:
         if not name:
             raise VCSError("repository name must not be empty")
@@ -106,7 +109,7 @@ class Repository:
         self.name = name
         self.owner = owner
         self.description = description
-        self.store = ObjectStore()
+        self.store = ObjectStore(backend=storage)
         self.refs = RefStore(default_branch=default_branch)
         self.index = StagingIndex()
         self.worktree: dict[str, bytes] = {}
@@ -138,9 +141,36 @@ class Repository:
         owner: str,
         default_branch: str = DEFAULT_BRANCH,
         description: str = "",
+        storage: BackendSpec = None,
     ) -> "Repository":
-        """Create an empty repository (no commits yet)."""
-        return cls(name=name, owner=owner, default_branch=default_branch, description=description)
+        """Create an empty repository (no commits yet).
+
+        ``storage`` selects the object-store layout: ``None``/``"memory"``
+        (default), ``"loose:<dir>"``, ``"pack:<dir>"``, or a constructed
+        :class:`~repro.vcs.storage.ObjectBackend` instance.
+        """
+        return cls(
+            name=name,
+            owner=owner,
+            default_branch=default_branch,
+            description=description,
+            storage=storage,
+        )
+
+    @classmethod
+    def open(cls, directory, storage: str | None = None) -> "Repository":
+        """Open a gitcite working copy saved on disk.
+
+        Delegates to :func:`repro.cli.storage.load_repository`; ``storage``
+        optionally overrides the *layout name* recorded in the working copy's
+        state file — ``"memory"``, ``"loose"`` or ``"pack"`` (the objects
+        always live under the working copy's ``.gitcite/``, so unlike
+        :meth:`init` no ``kind:<dir>`` specs or backend instances are
+        accepted) — and the working copy is migrated in place.
+        """
+        from repro.cli.storage import load_repository
+
+        return load_repository(directory, storage=storage)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Repository({self.owner}/{self.name}, head={self.head_oid()!r})"
@@ -205,6 +235,42 @@ class Repository:
         payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
         self.worktree[canonical] = payload
         return canonical
+
+    def write_files(self, files: Mapping[str, bytes | str]) -> list[str]:
+        """Create or overwrite many working-tree files in one batch.
+
+        Equivalent to :meth:`write_file` per entry but validates the
+        file/directory invariant once over the sorted union of old and new
+        paths (adjacent-pair ancestry check) instead of scanning the whole
+        worktree per file — O((n+m) log(n+m)) for the batch rather than
+        O(n·m).  Returns the canonical paths written, sorted.
+        """
+        incoming: dict[str, bytes] = {}
+        for path, data in files.items():
+            canonical = normalize_path(path)
+            if canonical == ROOT:
+                raise VCSError("cannot write a file at the repository root path '/'")
+            incoming[canonical] = (
+                data.encode("utf-8") if isinstance(data, str) else bytes(data)
+            )
+        # The worktree invariant: no path may be an ancestor of another.
+        # Ancestor-of-new conflicts are set probes over the union; new-over-
+        # existing-file conflicts are one bisect range probe per new path.
+        union = set(self.worktree) | set(incoming)
+        union_sorted = sorted(union)
+        for canonical in incoming:
+            for ancestor in ancestors(canonical):
+                if ancestor != ROOT and ancestor in union:
+                    raise VCSError(
+                        f"{ancestor!r} is a file; cannot create {canonical!r} beneath it"
+                    )
+            lower, upper = descendant_slice(union_sorted, canonical)
+            if lower < upper:
+                raise VCSError(
+                    f"{canonical!r} is a directory (contains {union_sorted[lower]!r})"
+                )
+        self.worktree.update(incoming)
+        return sorted(incoming)
 
     def read_file(self, path: str) -> bytes:
         """Return the working-tree content of ``path``."""

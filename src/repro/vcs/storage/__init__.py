@@ -1,0 +1,28 @@
+"""Pluggable storage backends for the content-addressable object store.
+
+:class:`~repro.vcs.object_store.ObjectStore` delegates raw byte storage to an
+:class:`ObjectBackend`:
+
+* :class:`MemoryBackend` — one dict entry per object (fastest; default);
+* :class:`LooseFileBackend` — one zlib-compressed file per object under a
+  sharded ``objects/ab/cdef...`` directory;
+* :class:`PackBackend` — buffered writes appended as pack files with a
+  sorted fanout index and blob delta compression, plus ``repack()``/gc.
+
+Use :func:`make_backend` to build one from a ``storage=`` specification.
+"""
+
+from repro.vcs.storage.base import BackendSpec, ObjectBackend, backend_kinds, make_backend
+from repro.vcs.storage.loose import LooseFileBackend
+from repro.vcs.storage.memory import MemoryBackend
+from repro.vcs.storage.pack import PackBackend
+
+__all__ = [
+    "ObjectBackend",
+    "BackendSpec",
+    "backend_kinds",
+    "make_backend",
+    "MemoryBackend",
+    "LooseFileBackend",
+    "PackBackend",
+]

@@ -1,0 +1,131 @@
+"""The abstract storage-backend API behind :class:`~repro.vcs.object_store.ObjectStore`.
+
+A backend is a dumb, typed byte store: it maps a 40-character object id to a
+``(type name, payload bytes)`` pair and knows nothing about blobs, trees or
+commits.  All object semantics (hashing, (de)serialisation, prefix
+resolution, caching) live in the :class:`ObjectStore` facade, which is why
+three very different layouts — an in-memory dict, sharded loose files and
+append-only pack files — can sit behind the same five methods.
+
+Every mutation bumps :attr:`ObjectBackend.mutation_counter`.  The facade's
+lazily sorted oid index records the counter value it was built against and
+rebuilds itself whenever the counter moved, so writes that bypass
+``ObjectStore.put`` (raw transfers, migrations, direct backend writes) can
+never leave a stale prefix index behind.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.errors import StorageError
+
+__all__ = ["ObjectBackend", "BackendSpec", "make_backend", "backend_kinds"]
+
+
+class ObjectBackend(ABC):
+    """Raw ``oid → (type, payload)`` storage with a mutation counter."""
+
+    #: Short machine-readable layout name (``"memory"``/``"loose"``/``"pack"``).
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Monotonic counter bumped by every state-changing operation.
+        self.mutation_counter = 0
+
+    # -- core API ----------------------------------------------------------
+
+    @abstractmethod
+    def write(self, oid: str, type_name: str, payload: bytes) -> bool:
+        """Store a raw object; return ``True`` if it was newly added."""
+
+    @abstractmethod
+    def read(self, oid: str) -> tuple[str, bytes]:
+        """Return ``(type name, payload)``; raise :class:`KeyError` if absent."""
+
+    @abstractmethod
+    def read_type(self, oid: str) -> str:
+        """Return the type name only; raise :class:`KeyError` if absent."""
+
+    @abstractmethod
+    def __contains__(self, oid: str) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def iter_oids(self) -> Iterator[str]:
+        """Iterate over every stored oid (no ordering guarantee)."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for non-buffering backends)."""
+
+    def close(self) -> None:
+        """Release any held resources; the backend stays reopenable."""
+        self.flush()
+
+    # -- maintenance -------------------------------------------------------
+
+    def gc(self, keep: set[str]) -> int:
+        """Drop every object whose oid is not in ``keep``; return the count."""
+        victims = [oid for oid in list(self.iter_oids()) if oid not in keep]
+        for oid in victims:
+            self._delete(oid)
+        if victims:
+            self.mutation_counter += 1
+        return len(victims)
+
+    def _delete(self, oid: str) -> None:  # pragma: no cover - overridden
+        raise StorageError(f"{self.kind} backend cannot delete individual objects")
+
+    def total_payload_size(self) -> int:
+        """Total *logical* payload bytes (not on-disk bytes) across objects."""
+        return sum(len(self.read(oid)[1]) for oid in self.iter_oids())
+
+    def stats(self) -> dict:
+        """Layout-specific statistics for CLI reporting and benchmarks."""
+        return {"kind": self.kind, "objects": len(self)}
+
+
+#: What callers may pass as a ``storage=`` option: ``None`` (memory), a kind
+#: name, a ``"kind:/path"`` spec, or an already constructed backend.
+BackendSpec = Union[None, str, ObjectBackend]
+
+
+def backend_kinds() -> tuple[str, ...]:
+    """The storage layouts :func:`make_backend` knows how to build."""
+    return ("memory", "loose", "pack")
+
+
+def make_backend(spec: BackendSpec = None, root: str | Path | None = None) -> ObjectBackend:
+    """Build a backend from a ``storage=`` specification.
+
+    ``None`` or ``"memory"`` yields a fresh :class:`MemoryBackend`;
+    ``"loose"``/``"pack"`` require a directory (either via ``root`` or inline
+    as ``"loose:/some/dir"``); a backend instance is returned unchanged.
+    """
+    from repro.vcs.storage.loose import LooseFileBackend
+    from repro.vcs.storage.memory import MemoryBackend
+    from repro.vcs.storage.pack import PackBackend
+
+    if spec is None:
+        return MemoryBackend()
+    if isinstance(spec, ObjectBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise StorageError(f"unsupported storage specification: {spec!r}")
+    kind, separator, inline_root = spec.partition(":")
+    if separator and inline_root:
+        root = inline_root
+    if kind == "memory":
+        return MemoryBackend()
+    if kind in ("loose", "pack"):
+        if root is None:
+            raise StorageError(f"storage kind {kind!r} needs a directory (use '{kind}:<dir>')")
+        directory = Path(root)
+        return LooseFileBackend(directory) if kind == "loose" else PackBackend(directory)
+    raise StorageError(f"unknown storage kind {kind!r}; expected one of {backend_kinds()}")

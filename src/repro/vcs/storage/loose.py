@@ -1,0 +1,167 @@
+"""The loose-file backend: one zlib-compressed file per object.
+
+Layout (mirroring Git's loose object store)::
+
+    <root>/ab/cdef0123...   # first two oid characters shard the directory
+
+Each file holds ``zlib.compress(b"<type> <size>\\0" + payload)``.  Writes are
+atomic (temp file + ``os.replace``) and reads re-hash the payload against the
+file's oid, so silent on-disk corruption is detected at the first read
+instead of propagating into trees and commits.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CorruptObjectError, StorageError
+from repro.utils.hashing import object_id
+from repro.vcs.storage.base import ObjectBackend
+
+__all__ = ["LooseFileBackend"]
+
+#: Decompressed header prefix fetched when only the type is needed.
+_HEADER_PROBE_BYTES = 64
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex(text: str) -> bool:
+    return all(character in _HEX_DIGITS for character in text)
+
+
+class LooseFileBackend(ObjectBackend):
+    """Sharded ``objects/ab/cdef...`` directory of compressed objects."""
+
+    kind = "loose"
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__()
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create loose object directory {self.root}: {exc}") from exc
+        self._known: set[str] = set()
+        self._scan()
+
+    def _scan(self) -> None:
+        """Populate the oid set from the on-disk shard directories.
+
+        Only well-formed ``ab``/``cdef…`` (2 + 38 hex characters) names are
+        accepted: a crash between writing a ``.tmp-*`` file and its atomic
+        rename must not surface as a phantom object that breaks clone,
+        migration and gc on every later open.
+        """
+        for shard in self.root.iterdir():
+            if not (shard.is_dir() and len(shard.name) == 2 and _is_hex(shard.name)):
+                continue
+            for entry in shard.iterdir():
+                if entry.is_file() and len(entry.name) == 38 and _is_hex(entry.name):
+                    self._known.add(shard.name + entry.name)
+
+    def _path_for(self, oid: str) -> Path:
+        return self.root / oid[:2] / oid[2:]
+
+    # -- core API ----------------------------------------------------------
+
+    def write(self, oid: str, type_name: str, payload: bytes) -> bool:
+        if oid in self._known:
+            return False
+        header = f"{type_name} {len(payload)}\0".encode("ascii")
+        compressed = zlib.compress(header + payload)
+        target = self._path_for(oid)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temporary = target.parent / f".tmp-{oid[2:]}-{os.getpid()}"
+        temporary.write_bytes(compressed)
+        os.replace(temporary, target)
+        self._known.add(oid)
+        self.mutation_counter += 1
+        return True
+
+    def _load(self, oid: str) -> tuple[str, bytes]:
+        path = self._path_for(oid)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            raise KeyError(oid) from None
+        try:
+            decompressed = zlib.decompress(raw)
+        except zlib.error as exc:
+            raise CorruptObjectError(oid, f"zlib decompression failed: {exc}") from exc
+        header, separator, payload = decompressed.partition(b"\0")
+        if not separator:
+            raise CorruptObjectError(oid, "missing object header")
+        try:
+            type_name, size_text = header.decode("ascii").split(" ", 1)
+            declared_size = int(size_text)
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise CorruptObjectError(oid, f"malformed object header {header!r}") from exc
+        if declared_size != len(payload):
+            raise CorruptObjectError(
+                oid, f"header declares {declared_size} payload bytes, file holds {len(payload)}"
+            )
+        if object_id(type_name, payload) != oid:
+            raise CorruptObjectError(oid, "payload does not hash to the file's oid")
+        return type_name, payload
+
+    def read(self, oid: str) -> tuple[str, bytes]:
+        if oid not in self._known:
+            raise KeyError(oid)
+        return self._load(oid)
+
+    def read_type(self, oid: str) -> str:
+        if oid not in self._known:
+            raise KeyError(oid)
+        path = self._path_for(oid)
+        try:
+            with path.open("rb") as handle:
+                probe = handle.read(_HEADER_PROBE_BYTES)
+        except OSError:
+            raise KeyError(oid) from None
+        decompressor = zlib.decompressobj()
+        try:
+            header = decompressor.decompress(probe, _HEADER_PROBE_BYTES)
+        except zlib.error as exc:
+            raise CorruptObjectError(oid, f"zlib decompression failed: {exc}") from exc
+        type_name, separator, _ = header.partition(b" ")
+        if not separator:
+            # Header did not fit in the probe (never happens for real types).
+            return self._load(oid)[0]
+        return type_name.decode("ascii")
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._known
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def iter_oids(self) -> Iterator[str]:
+        return iter(sorted(self._known))
+
+    # -- maintenance -------------------------------------------------------
+
+    def _delete(self, oid: str) -> None:
+        try:
+            self._path_for(oid).unlink()
+        except OSError:
+            pass
+        self._known.discard(oid)
+
+    def on_disk_bytes(self) -> int:
+        """Total compressed bytes currently stored under the root."""
+        return sum(
+            self._path_for(oid).stat().st_size for oid in self._known
+            if self._path_for(oid).is_file()
+        )
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "objects": len(self._known),
+            "disk_bytes": self.on_disk_bytes(),
+            "root": str(self.root),
+        }

@@ -1,0 +1,58 @@
+"""The in-memory backend: the seed's original ``ObjectStore`` layout.
+
+One dict entry per object — the fastest layout and the default for tests and
+the hosting-platform simulator, but bounded by RAM and gone on process exit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.vcs.storage.base import ObjectBackend
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(ObjectBackend):
+    """``oid → (type, payload)`` in a plain dict."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._objects: dict[str, tuple[str, bytes]] = {}
+
+    def write(self, oid: str, type_name: str, payload: bytes) -> bool:
+        if oid in self._objects:
+            return False
+        self._objects[oid] = (type_name, payload)
+        self.mutation_counter += 1
+        return True
+
+    def read(self, oid: str) -> tuple[str, bytes]:
+        return self._objects[oid]
+
+    def read_type(self, oid: str) -> str:
+        return self._objects[oid][0]
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def iter_oids(self) -> Iterator[str]:
+        return iter(self._objects)
+
+    def _delete(self, oid: str) -> None:
+        del self._objects[oid]
+
+    def total_payload_size(self) -> int:
+        return sum(len(payload) for _, payload in self._objects.values())
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "objects": len(self._objects),
+            "payload_bytes": self.total_payload_size(),
+        }

@@ -1,0 +1,578 @@
+"""The pack backend: append-only pack files with a sorted fanout index.
+
+New writes accumulate in memory and :meth:`PackBackend.flush` appends them as
+one pack file, so a bulk commit costs one sequential write instead of one
+file per object.  Each pack ``pack-<digest>.pack`` carries a sidecar
+``pack-<digest>.idx``:
+
+``.pack`` layout::
+
+    b"RPCK1\\n"
+    repeated records, each:
+      header line  b"full <type> <oid> <csize>\\n"
+                or b"delta <type> <oid> <csize> <base-oid>\\n"
+      csize bytes of zlib-compressed data (payload, or a delta against the
+      *full* record of <base-oid> in the same pack; delta depth is 1)
+
+``.idx`` layout (the sorted fanout index)::
+
+    b"RIDX1\\n"
+    256 big-endian uint32 cumulative bucket counts (fanout over oid[0:2])
+    per oid, sorted: 20 raw oid bytes + big-endian uint64 record offset
+
+A lookup narrows to the oid's first-byte bucket via the fanout table, then
+bisects inside the bucket — O(log bucket) with no payload touched.  Similar
+blobs are stored as deltas (copy/insert opcodes against a base blob chosen
+from a sliding window, kept only when materially smaller than the compressed
+full payload).  :meth:`repack` rewrites all packs as one, re-running delta
+selection over the full object population; with a ``keep`` set it doubles as
+the garbage collector.  A missing/corrupt ``.idx`` is rebuilt by scanning the
+pack, so the index is a cache, never the source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import struct
+import zlib
+from bisect import bisect_left
+from difflib import SequenceMatcher
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import CorruptObjectError, StorageError
+from repro.utils.hashing import object_id
+from repro.vcs.storage.base import ObjectBackend
+
+__all__ = ["PackBackend"]
+
+_PACK_MAGIC = b"RPCK1\n"
+_INDEX_MAGIC = b"RIDX1\n"
+#: Longest possible record header line, with margin (kind + type + 2 oids).
+_MAX_HEADER_BYTES = 160
+#: How many recently packed blobs are considered as delta bases.
+_DELTA_WINDOW = 8
+#: A delta is kept only when its compressed size beats this fraction of the
+#: compressed full payload.
+_DELTA_KEEP_RATIO = 0.75
+#: On-disk cost a delta record pays over a full record (the base oid plus a
+#: space in the header line); charged during delta acceptance so tiny blobs
+#: whose body saving is smaller than the header growth stay full records.
+_DELTA_HEADER_EXTRA = 41
+#: Blobs larger than this are never delta-compressed.
+_DELTA_MAX_BYTES = 4 * 1024 * 1024
+#: Above this size only the linear prefix/suffix trim is attempted
+#: (SequenceMatcher is quadratic in the worst case).
+_SEQUENCE_MATCH_MAX_BYTES = 64 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Delta encoding: copy/insert opcodes against a base payload
+# ---------------------------------------------------------------------------
+
+
+def encode_delta(base: bytes, target: bytes) -> bytes:
+    """Encode ``target`` as copy/insert opcodes against ``base``.
+
+    Two strategies, cheapest first: a linear common-prefix/common-suffix trim
+    (covers the dominant versioned-file shape — an edit or append somewhere
+    in an otherwise identical payload), falling back to full
+    :class:`difflib.SequenceMatcher` opcodes for small payloads where the
+    trim left too much literal middle.
+    """
+    prefix = 0
+    limit = min(len(base), len(target))
+    while prefix < limit and base[prefix] == target[prefix]:
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < limit - prefix
+        and base[len(base) - 1 - suffix] == target[len(target) - 1 - suffix]
+    ):
+        suffix += 1
+    middle = len(target) - prefix - suffix
+    if middle <= len(target) // 2 or len(target) > _SEQUENCE_MATCH_MAX_BYTES:
+        chunks: list[bytes] = []
+        if prefix:
+            chunks.append(b"C %d %d\n" % (0, prefix))
+        if middle:
+            chunks.append(b"I %d\n" % middle)
+            chunks.append(target[prefix:prefix + middle])
+        if suffix:
+            chunks.append(b"C %d %d\n" % (len(base) - suffix, suffix))
+        return b"".join(chunks)
+    matcher = SequenceMatcher(a=base, b=target, autojunk=False)
+    chunks = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            chunks.append(b"C %d %d\n" % (i1, i2 - i1))
+        elif j2 > j1:
+            chunks.append(b"I %d\n" % (j2 - j1))
+            chunks.append(target[j1:j2])
+    return b"".join(chunks)
+
+
+def apply_delta(base: bytes, delta: bytes) -> bytes:
+    """Reconstruct the target payload from ``base`` and an encoded delta."""
+    output: list[bytes] = []
+    position = 0
+    while position < len(delta):
+        newline = delta.index(b"\n", position)
+        fields = delta[position:newline].split(b" ")
+        position = newline + 1
+        if fields[0] == b"C":
+            offset, length = int(fields[1]), int(fields[2])
+            output.append(base[offset:offset + length])
+        elif fields[0] == b"I":
+            length = int(fields[1])
+            output.append(delta[position:position + length])
+            position += length
+        else:
+            raise ValueError(f"unknown delta opcode: {fields[0]!r}")
+    return b"".join(output)
+
+
+def delta_output_length(delta: bytes) -> int:
+    """Target payload size encoded by a delta, without applying it."""
+    total = 0
+    position = 0
+    while position < len(delta):
+        newline = delta.index(b"\n", position)
+        fields = delta[position:newline].split(b" ")
+        position = newline + 1
+        if fields[0] == b"C":
+            total += int(fields[2])
+        else:
+            length = int(fields[1])
+            total += length
+            position += length
+    return total
+
+
+def _delta_worth_trying(base: bytes, target: bytes) -> bool:
+    if not base or not target:
+        return False
+    if len(base) > _DELTA_MAX_BYTES or len(target) > _DELTA_MAX_BYTES:
+        return False
+    longer, shorter = max(len(base), len(target)), min(len(base), len(target))
+    return shorter * 2 >= longer
+
+
+# ---------------------------------------------------------------------------
+# A single on-disk pack and its fanout index
+# ---------------------------------------------------------------------------
+
+
+class _PackFile:
+    """One immutable pack file plus its in-memory fanout index."""
+
+    def __init__(self, pack_path: Path) -> None:
+        self.path = pack_path
+        self.index_path = pack_path.with_suffix(".idx")
+        self._handle = None
+        self._oids: list[str] = []
+        self._offsets: list[int] = []
+        self._fanout: list[int] = [0] * 257
+        if self.index_path.is_file():
+            try:
+                self._load_index()
+                return
+            except (OSError, ValueError, struct.error):
+                pass  # fall through to a rebuild from the pack itself
+        self._rebuild_index()
+
+    # -- index (de)serialisation ------------------------------------------
+
+    def _load_index(self) -> None:
+        raw = self.index_path.read_bytes()
+        if not raw.startswith(_INDEX_MAGIC):
+            raise ValueError("bad index magic")
+        cursor = len(_INDEX_MAGIC)
+        counts = struct.unpack_from(">256I", raw, cursor)
+        cursor += 256 * 4
+        total = counts[255]
+        self._fanout = [0] + list(counts)
+        oids: list[str] = []
+        offsets: list[int] = []
+        for _ in range(total):
+            oid_bytes = raw[cursor:cursor + 20]
+            (offset,) = struct.unpack_from(">Q", raw, cursor + 20)
+            oids.append(oid_bytes.hex())
+            offsets.append(offset)
+            cursor += 28
+        self._oids = oids
+        self._offsets = offsets
+
+    @staticmethod
+    def write_index(index_path: Path, entries: list[tuple[str, int]]) -> None:
+        """Write the sorted fanout index for ``(oid, offset)`` entries."""
+        entries = sorted(entries)
+        counts = [0] * 256
+        for oid, _ in entries:
+            counts[int(oid[:2], 16)] += 1
+        cumulative = []
+        running = 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        blob = bytearray(_INDEX_MAGIC)
+        blob += struct.pack(">256I", *cumulative)
+        for oid, offset in entries:
+            blob += bytes.fromhex(oid)
+            blob += struct.pack(">Q", offset)
+        temporary = index_path.with_name(index_path.name + f".tmp-{os.getpid()}")
+        temporary.write_bytes(bytes(blob))
+        os.replace(temporary, index_path)
+
+    def _rebuild_index(self) -> None:
+        """Recover the index by scanning the pack records sequentially."""
+        entries: list[tuple[str, int]] = []
+        with self.path.open("rb") as handle:
+            magic = handle.read(len(_PACK_MAGIC))
+            if magic != _PACK_MAGIC:
+                raise StorageError(f"{self.path} is not a pack file")
+            offset = handle.tell()
+            while True:
+                chunk = handle.read(_MAX_HEADER_BYTES)
+                if not chunk:
+                    break
+                newline = chunk.find(b"\n")
+                if newline < 0:
+                    raise StorageError(f"unterminated record header in {self.path}")
+                fields = chunk[:newline].decode("ascii").split(" ")
+                oid, csize = fields[2], int(fields[3])
+                entries.append((oid, offset))
+                offset += newline + 1 + csize
+                handle.seek(offset)
+        self.write_index(self.index_path, entries)
+        self._load_index()
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._oids)
+
+    @property
+    def oids(self) -> list[str]:
+        return self._oids
+
+    def lookup(self, oid: str) -> int | None:
+        """Record offset of ``oid`` via fanout bucket + bisect, or ``None``.
+
+        Malformed ids (short, non-hex — e.g. an unknown ref name probed via
+        ``__contains__``) are simply absent, never an error.
+        """
+        try:
+            bucket = int(oid[:2], 16)
+        except ValueError:
+            return None
+        if bucket < 0 or len(oid) != 40:
+            return None
+        low, high = self._fanout[bucket], self._fanout[bucket + 1]
+        position = bisect_left(self._oids, oid, low, high)
+        if position < high and self._oids[position] == oid:
+            return self._offsets[position]
+        return None
+
+    # -- record access -----------------------------------------------------
+
+    def _file(self):
+        if self._handle is None:
+            self._handle = self.path.open("rb")
+        return self._handle
+
+    def read_record(self, offset: int) -> tuple[str, str, bytes, str | None]:
+        """Return ``(kind, type, data, base oid)`` for the record at ``offset``."""
+        handle = self._file()
+        handle.seek(offset)
+        chunk = handle.read(_MAX_HEADER_BYTES)
+        newline = chunk.find(b"\n")
+        if newline < 0:
+            raise StorageError(f"unterminated record header in {self.path} at {offset}")
+        fields = chunk[:newline].decode("ascii").split(" ")
+        kind, type_name, oid, csize = fields[0], fields[1], fields[2], int(fields[3])
+        base_oid = fields[4] if kind == "delta" else None
+        compressed = chunk[newline + 1:newline + 1 + csize]
+        if len(compressed) < csize:
+            handle.seek(offset + newline + 1 + len(compressed))
+            compressed += handle.read(csize - len(compressed))
+        try:
+            data = zlib.decompress(compressed)
+        except zlib.error as exc:
+            raise CorruptObjectError(oid, f"zlib decompression failed: {exc}") from exc
+        return kind, type_name, data, base_oid
+
+    def read_header(self, offset: int) -> tuple[str, str, str | None]:
+        """Return ``(kind, type, base oid)`` without decompressing the data."""
+        handle = self._file()
+        handle.seek(offset)
+        chunk = handle.read(_MAX_HEADER_BYTES)
+        newline = chunk.find(b"\n")
+        if newline < 0:
+            raise StorageError(f"unterminated record header in {self.path} at {offset}")
+        fields = chunk[:newline].decode("ascii").split(" ")
+        return fields[0], fields[1], fields[4] if fields[0] == "delta" else None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The backend proper
+# ---------------------------------------------------------------------------
+
+
+class PackBackend(ObjectBackend):
+    """Buffered writes + append-only packs + fanout-indexed reads."""
+
+    kind = "pack"
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__()
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create pack directory {self.root}: {exc}") from exc
+        self._pending: dict[str, tuple[str, bytes]] = {}
+        self._packs: list[_PackFile] = []
+        for pack_path in sorted(self.root.glob("pack-*.pack")):
+            self._packs.append(_PackFile(pack_path))
+
+    # -- core API ----------------------------------------------------------
+
+    def write(self, oid: str, type_name: str, payload: bytes) -> bool:
+        if oid in self:
+            return False
+        self._pending[oid] = (type_name, payload)
+        self.mutation_counter += 1
+        return True
+
+    def _packed_lookup(self, oid: str) -> tuple[_PackFile, int] | None:
+        for pack in self._packs:
+            offset = pack.lookup(oid)
+            if offset is not None:
+                return pack, offset
+        return None
+
+    def _read_packed(self, pack: _PackFile, offset: int, oid: str) -> tuple[str, bytes]:
+        kind, type_name, data, base_oid = pack.read_record(offset)
+        if kind == "delta":
+            base_offset = pack.lookup(base_oid) if base_oid else None
+            if base_offset is None:
+                raise CorruptObjectError(oid, f"delta base {base_oid} missing from pack")
+            base_kind, _, base_data, _ = pack.read_record(base_offset)
+            if base_kind != "full":
+                raise CorruptObjectError(oid, f"delta base {base_oid} is not a full record")
+            try:
+                data = apply_delta(base_data, data)
+            except (ValueError, IndexError) as exc:
+                raise CorruptObjectError(oid, f"malformed delta body: {exc}") from exc
+        if object_id(type_name, data) != oid:
+            raise CorruptObjectError(oid, "payload does not hash to the indexed oid")
+        return type_name, data
+
+    def read(self, oid: str) -> tuple[str, bytes]:
+        if oid in self._pending:
+            return self._pending[oid]
+        located = self._packed_lookup(oid)
+        if located is None:
+            raise KeyError(oid)
+        return self._read_packed(*located, oid)
+
+    def read_type(self, oid: str) -> str:
+        if oid in self._pending:
+            return self._pending[oid][0]
+        located = self._packed_lookup(oid)
+        if located is None:
+            raise KeyError(oid)
+        pack, offset = located
+        _, type_name, _ = pack.read_header(offset)
+        return type_name
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._pending or self._packed_lookup(oid) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_oids())
+
+    def iter_oids(self) -> Iterator[str]:
+        """All oids in sorted order (merge of pending + per-pack indexes)."""
+        streams: list[Iterable[str]] = [sorted(self._pending)]
+        streams.extend(pack.oids for pack in self._packs)
+        previous = None
+        for oid in heapq.merge(*streams):
+            if oid != previous:
+                previous = oid
+                yield oid
+
+    # -- pack writing ------------------------------------------------------
+
+    @staticmethod
+    def _delta_order(oids: Iterable[str], describe) -> list[str]:
+        """Order a record stream so the delta window actually hits.
+
+        ``describe(oid)`` returns ``(type name, payload size)``.  Non-blobs
+        (small, rarely similar) go first sorted by oid; blobs follow sorted
+        by (size, oid) — revisions of the same file have near-identical
+        sizes, so similar payloads land inside the sliding window.  (An
+        oid-sorted stream scatters revisions randomly and the window almost
+        never hits.)
+        """
+        blobs: list[tuple[int, str]] = []
+        others: list[str] = []
+        for oid in oids:
+            type_name, size = describe(oid)
+            if type_name == "blob":
+                blobs.append((size, oid))
+            else:
+                others.append(oid)
+        return sorted(others) + [oid for _, oid in sorted(blobs)]
+
+    def _write_pack_stream(self, ordered: list[str], fetch) -> _PackFile:
+        """Write one pack (+ index) from ``fetch(oid) → (type, payload)``.
+
+        Streaming: each record is compressed and written as it is fetched,
+        and only the delta window (≤ ``_DELTA_WINDOW`` full blob payloads)
+        is held in memory — repacking a store larger than RAM stays within
+        the layout's own scaling claim.  The pack lands via a temp file +
+        atomic rename, so a crash mid-write leaves no half-pack behind.
+        """
+        digest = hashlib.sha1("\n".join(sorted(ordered)).encode("ascii")).hexdigest()[:16]
+        pack_path = self.root / f"pack-{digest}.pack"
+        entries: list[tuple[str, int]] = []
+        #: Sliding window of recently written *full* blob payloads.
+        window: list[tuple[str, bytes]] = []
+        temporary = pack_path.with_name(pack_path.name + f".tmp-{os.getpid()}")
+        with temporary.open("wb") as handle:
+            handle.write(_PACK_MAGIC)
+            for oid in ordered:
+                type_name, payload = fetch(oid)
+                full_compressed = zlib.compress(payload)
+                best: tuple[str, bytes] | None = None
+                if type_name == "blob":
+                    # Most recent window entry first; the first acceptable
+                    # delta wins (git's heuristic, depth capped at 1).
+                    for base_oid, base_payload in reversed(window):
+                        if not _delta_worth_trying(base_payload, payload):
+                            continue
+                        delta_compressed = zlib.compress(encode_delta(base_payload, payload))
+                        delta_cost = len(delta_compressed) + _DELTA_HEADER_EXTRA
+                        if delta_cost < _DELTA_KEEP_RATIO * len(full_compressed):
+                            best = (base_oid, delta_compressed)
+                            break
+                if best is not None:
+                    base_oid, body = best
+                    header = f"delta {type_name} {oid} {len(body)} {base_oid}"
+                else:
+                    body = full_compressed
+                    header = f"full {type_name} {oid} {len(body)}"
+                    if type_name == "blob":
+                        window.append((oid, payload))
+                        if len(window) > _DELTA_WINDOW:
+                            window.pop(0)
+                entries.append((oid, handle.tell()))
+                handle.write(header.encode("ascii") + b"\n")
+                handle.write(body)
+        os.replace(temporary, pack_path)
+        _PackFile.write_index(pack_path.with_suffix(".idx"), entries)
+        return _PackFile(pack_path)
+
+    def _write_pack(self, objects: dict[str, tuple[str, bytes]]) -> _PackFile:
+        """Materialise in-memory ``objects`` as one pack (+ index)."""
+        ordered = self._delta_order(
+            objects, lambda oid: (objects[oid][0], len(objects[oid][1]))
+        )
+        return self._write_pack_stream(ordered, objects.__getitem__)
+
+    def flush(self) -> None:
+        """Append pending objects as a new pack file."""
+        if not self._pending:
+            return
+        self._packs.append(self._write_pack(self._pending))
+        self._pending = {}
+
+    def close(self) -> None:
+        self.flush()
+        for pack in self._packs:
+            pack.close()
+
+    # -- maintenance -------------------------------------------------------
+
+    def repack(self, keep: set[str] | None = None) -> dict:
+        """Rewrite everything (pending included) as a single optimised pack.
+
+        ``keep`` restricts the survivors — that is the gc entry point.  The
+        operation is idempotent: repacking an already single-pack store
+        rewrites it to the identical object population.  The replacement
+        pack is fully written and indexed *before* the stale packs are
+        deleted, so a crash or full disk mid-repack never loses objects;
+        only the delta window is held in memory, never the whole store.
+        """
+        before = self.stats()
+        self.flush()
+        survivors = [
+            oid for oid in self.iter_oids() if keep is None or oid in keep
+        ]
+
+        def describe(oid: str) -> tuple[str, int]:
+            # Type + logical size from the record alone: one decompression,
+            # no delta application, no hash verification — the sizing pass
+            # must not double the full read cost of the write pass.
+            pack, offset = self._packed_lookup(oid)
+            kind, type_name, data, _ = pack.read_record(offset)
+            size = delta_output_length(data) if kind == "delta" else len(data)
+            return type_name, size
+
+        ordered = self._delta_order(survivors, describe)
+        old_packs = self._packs
+        new_pack = self._write_pack_stream(ordered, self.read) if ordered else None
+        for pack in old_packs:
+            pack.close()
+            if new_pack is not None and pack.path == new_pack.path:
+                continue  # idempotent repack: replaced atomically in place
+            for stale in (pack.path, pack.index_path):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        self._packs = [new_pack] if new_pack is not None else []
+        dropped = before["objects"] - len(ordered)
+        if dropped:
+            self.mutation_counter += 1
+        after = self.stats()
+        return {
+            "objects_before": before["objects"],
+            "objects_after": len(ordered),
+            "objects_dropped": dropped,
+            "packs_before": before["packs"],
+            "packs_after": after["packs"],
+            "disk_bytes_before": before["disk_bytes"],
+            "disk_bytes_after": after["disk_bytes"],
+        }
+
+    def gc(self, keep: set[str]) -> int:
+        return self.repack(keep=keep)["objects_dropped"]
+
+    def on_disk_bytes(self) -> int:
+        """Total pack + index bytes currently stored under the root."""
+        total = 0
+        for pack in self._packs:
+            for path in (pack.path, pack.index_path):
+                if path.is_file():
+                    total += path.stat().st_size
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "objects": len(self),
+            "packs": len(self._packs),
+            "pending": len(self._pending),
+            "disk_bytes": self.on_disk_bytes(),
+            "root": str(self.root),
+        }

@@ -84,7 +84,7 @@ def import_worktree(
         # A wholesale replacement, exactly like a checkout: holders of
         # deferred worktree-derived state must discard it, not flush it.
         repo._notify_worktree_reload()
-    imported: list[str] = []
+    collected: dict[str, bytes] = {}
     for dirpath, dirnames, filenames in os.walk(root):
         current = Path(dirpath)
         relative_dir = "/" + current.relative_to(root).as_posix() if current != root else "/"
@@ -105,7 +105,8 @@ def import_worktree(
             )
             if rules.matches(repo_path):
                 continue
-            data = (current / filename).read_bytes()
-            repo.write_file(repo_path, data)
-            imported.append(normalize_path(repo_path))
-    return sorted(imported)
+            collected[repo_path] = (current / filename).read_bytes()
+    # One batched write: the filesystem already guarantees the imported set
+    # is conflict-free among itself, and write_files() checks it against any
+    # surviving in-memory paths in a single sorted pass.
+    return repo.write_files(collected)

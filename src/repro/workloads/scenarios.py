@@ -24,7 +24,7 @@ produce byte-identical ``citation.cite`` files.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from datetime import datetime, timezone
+from datetime import datetime
 
 from repro.citation.citefile import CITATION_FILE_PATH, loads_citation_file
 from repro.citation.conflict import TheirsStrategy

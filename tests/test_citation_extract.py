@@ -4,7 +4,6 @@ import pytest
 
 from repro.citation.extract import cite_extraction, render_bibliography
 from repro.citation.function import CitationFunction
-from repro.workloads.scenarios import build_demo_scenario
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for MergeCite, CopyCite and rename propagation (pure-model level)."""
 
-import pytest
 
 from repro.citation.conflict import AskUserStrategy, OursStrategy, TheirsStrategy
 from repro.citation.copy import copy_citations

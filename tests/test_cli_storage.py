@@ -7,7 +7,6 @@ import pytest
 from repro.errors import CLIError
 from repro.citation.manager import CitationManager
 from repro.cli.storage import STATE_DIR, STATE_FILE, is_working_copy, load_repository, save_repository
-from repro.vcs.repository import Repository
 
 
 @pytest.fixture

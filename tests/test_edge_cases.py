@@ -7,11 +7,10 @@ the manager when the working tree is manipulated behind its back.
 """
 
 import base64
-import json
 
 import pytest
 
-from repro.errors import CitationFileError, RefError, VCSError
+from repro.errors import CitationFileError, RefError
 from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes
 from repro.citation.manager import CitationManager
 from repro.extension.client import ExtensionClient

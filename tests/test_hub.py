@@ -1,7 +1,6 @@
 """Unit tests for the hosting-platform simulator (models, auth, rate limits, server, API)."""
 
 import base64
-import json
 
 import pytest
 
@@ -17,8 +16,6 @@ from repro.hub.api import RestApi
 from repro.hub.models import Permission
 from repro.hub.ratelimit import RateLimiter
 from repro.hub.server import HostingPlatform
-from repro.vcs.remote import clone_repository
-from repro.vcs.repository import Repository
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for tree diffs (rename detection) and three-way merges."""
 
-import pytest
 
 from repro.vcs.diff import blob_similarity, diff_trees
 from repro.vcs.merge import (

@@ -56,6 +56,29 @@ class TestWorktree:
         assert "/docs/a" in repo.list_directories()
         assert repo.directory_exists("/docs/a")
 
+    def test_write_files_bulk_matches_write_file(self, repo):
+        written = repo.write_files({"a/x.txt": "x", "/a/y.txt": b"y", "b.txt": "b"})
+        assert written == ["/a/x.txt", "/a/y.txt", "/b.txt"]
+        assert repo.read_file("/a/x.txt") == b"x"
+        assert repo.read_file("/a/y.txt") == b"y"
+        # Overwriting an existing file in a batch is legal, like write_file.
+        repo.write_files({"/b.txt": "b2"})
+        assert repo.read_file("/b.txt") == b"b2"
+
+    def test_write_files_rejects_conflicts_like_write_file(self, repo):
+        with pytest.raises(VCSError):
+            repo.write_files({"/": b"x"})
+        with pytest.raises(VCSError):
+            repo.write_files({"/src": b"x"})  # /src is a directory
+        with pytest.raises(VCSError):
+            repo.write_files({"/README.md/sub.txt": b"x"})  # README.md is a file
+        with pytest.raises(VCSError):
+            # Conflict *within* the batch itself.
+            repo.write_files({"/new/leaf.txt": b"a", "/new/leaf.txt/below.txt": b"b"})
+        # Sibling with a lexicographically tricky name is NOT a conflict.
+        repo.write_files({"/src/app.py!": b"bang", "/src/app.py2": b"two"})
+        assert repo.read_file("/src/app.py!") == b"bang"
+
 
 class TestCommits:
     def test_commit_advances_head(self, repo):

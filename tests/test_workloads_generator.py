@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.citation.conflict import NewestStrategy
 from repro.citation.operators import AddCite, DelCite, GenCite, ModifyCite, apply_operations
