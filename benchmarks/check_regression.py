@@ -1,0 +1,95 @@
+"""The CI perf-regression gate: check benchmark results against recorded floors.
+
+Reads a ``BENCH_results.json`` produced by :mod:`benchmarks.run_all` and the
+per-scenario floors recorded in ``benchmarks/perf_floors.json``, and fails
+(exit code 1) when any gated scenario
+
+* is missing from the results,
+* reported ``outputs_identical: false`` (the optimised path diverged), or
+* fell below its ``min_speedup`` floor / exceeded a ``max_fields`` bound.
+
+Because every scenario re-measures its seed baseline on the same machine in
+the same run, the speedup is a machine-independent complexity signal: a
+floor violation means a hot path regressed, not that the runner was slow.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_results.json
+    python benchmarks/check_regression.py BENCH_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOORS = Path(__file__).resolve().parent / "perf_floors.json"
+
+
+def check(results: dict, floors: dict) -> list[str]:
+    """Return a list of human-readable violations (empty == gate passes)."""
+    violations: list[str] = []
+    for scenario, limits in floors.items():
+        entry = results.get(scenario)
+        if entry is None:
+            violations.append(f"{scenario}: missing from the benchmark results")
+            continue
+        if not entry.get("outputs_identical", False):
+            violations.append(f"{scenario}: outputs_identical is false")
+        minimum = limits.get("min_speedup")
+        if minimum is not None and entry.get("speedup", 0.0) < minimum:
+            violations.append(
+                f"{scenario}: speedup {entry.get('speedup', 0.0):.2f}x "
+                f"below the recorded floor {minimum:.2f}x"
+            )
+        for field, bound in limits.get("max_fields", {}).items():
+            value = entry.get(field)
+            if value is None:
+                violations.append(f"{scenario}: expected field {field!r} is missing")
+            elif value > bound:
+                violations.append(
+                    f"{scenario}: {field} = {value:.2f} exceeds the bound {bound:.2f}"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results",
+        type=Path,
+        nargs="?",
+        default=_REPO_ROOT / "BENCH_results.json",
+        help="BENCH_results.json to check (default: repository root copy)",
+    )
+    parser.add_argument(
+        "--floors", type=Path, default=DEFAULT_FLOORS, help="per-scenario floor file"
+    )
+    args = parser.parse_args(argv)
+
+    results = json.loads(args.results.read_text(encoding="utf-8"))["results"]
+    floors = json.loads(args.floors.read_text(encoding="utf-8"))["floors"]
+
+    violations = check(results, floors)
+    checked = sorted(set(floors) & set(results))
+    print(f"checked {len(checked)} gated scenario(s) against {args.floors.name}")
+    for scenario in checked:
+        entry = results[scenario]
+        print(
+            f"  {scenario}: speedup {entry.get('speedup', 0.0):8.1f}x  "
+            f"identical={entry.get('outputs_identical')}"
+        )
+    if violations:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -669,8 +669,17 @@ class CitationManager:
     # ------------------------------------------------------------------
 
     def _worktree_paths(self) -> tuple[set[str], set[str]]:
-        files = {p for p in self.repo.worktree if p != CITATION_FILE_PATH}
-        directories = set(self.repo.list_directories()) - {ROOT}
+        # Both queries come straight off the indexed worktree's maintained
+        # path/directory indexes — no per-call re-derivation.  Note that a
+        # checkout replaces the WorktreeState *object* (the indexes travel
+        # with the content), so worktree-derived state must be re-read per
+        # call or tracked via ``Repository.worktree_generation``, exactly as
+        # this manager's function cache does — never by holding a reference
+        # to ``repo.worktree`` across operations.
+        files = set(self.repo.worktree)
+        files.discard(CITATION_FILE_PATH)
+        directories = set(self.repo.list_directories())
+        directories.discard(ROOT)
         return files, directories
 
     def validate(self) -> ConsistencyReport:

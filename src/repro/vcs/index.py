@@ -25,7 +25,7 @@ from repro.utils.paths import ROOT, ancestors, normalize_path
 from repro.utils.sortedkeys import descendant_slice, sorted_insert, sorted_remove
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE
-from repro.vcs.treeops import build_tree_incremental, flatten_tree
+from repro.vcs.treeops import build_tree_from_sorted_index, flatten_tree
 
 __all__ = ["StagingIndex"]
 
@@ -103,9 +103,19 @@ class StagingIndex:
         self._entries.clear()
         self._sorted_paths.clear()
 
-    def replace(self, entries: Mapping[str, tuple[str, str]]) -> None:
-        """Replace the whole index content (used when reading a commit's tree)."""
-        self._entries = {normalize_path(path): value for path, value in entries.items()}
+    def replace(
+        self, entries: Mapping[str, tuple[str, str]], assume_canonical: bool = False
+    ) -> None:
+        """Replace the whole index content (used when reading a commit's tree).
+
+        ``assume_canonical`` skips per-path normalisation for callers that
+        guarantee canonical keys (the worktree and tree flattening do) — on
+        the commit hot path that is O(n) string processing saved.
+        """
+        if assume_canonical:
+            self._entries = dict(entries)
+        else:
+            self._entries = {normalize_path(path): value for path, value in entries.items()}
         self._sorted_paths = sorted(self._entries)
 
     # -- queries -----------------------------------------------------------
@@ -178,8 +188,12 @@ class StagingIndex:
         if dirty is None and ROOT in self._tree_cache:
             self.last_write_tree_stats = {"built": 0, "reused": 1}
             return self._tree_cache[ROOT]
-        root_oid, new_cache, stats = build_tree_incremental(
-            store, self._entries, self._tree_cache, dirty if dirty is not None else {ROOT}
+        root_oid, new_cache, stats = build_tree_from_sorted_index(
+            store,
+            self._sorted_paths,
+            self._entries,
+            self._tree_cache,
+            dirty if dirty is not None else {ROOT},
         )
         self._tree_cache = new_cache
         self._tree_cache_store = store
@@ -195,7 +209,8 @@ class StagingIndex:
         """
         flat = flatten_tree(store, tree_oid)
         self.replace(
-            {path: value for path, value in flat.items() if value[1] != MODE_DIRECTORY}
+            {path: value for path, value in flat.items() if value[1] != MODE_DIRECTORY},
+            assume_canonical=True,
         )
         self._tree_cache = {
             path: oid for path, (oid, mode) in flat.items() if mode == MODE_DIRECTORY

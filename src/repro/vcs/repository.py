@@ -6,8 +6,13 @@ citation layer and the CLI are built on: write/move/remove files, stage,
 commit, branch, checkout, log, diff, and merge.
 
 The working tree is an in-memory mapping from canonical repository path to
-file bytes.  :mod:`repro.vcs.worktree` can materialise it on disk (and read a
-disk directory back in) for the command-line tool; everything else — tests,
+file bytes — since PR 3 a :class:`~repro.vcs.worktree_state.WorktreeState`,
+which keeps a sorted path index (single-file writes, directory queries and
+moves are bisect probes, not scans) and a per-path blob-fingerprint cache
+(``add``/``status`` hash only the files that actually changed, so a commit
+that touched one file is O(changed), not O(worktree)).
+:mod:`repro.vcs.worktree` can materialise it on disk (and read a disk
+directory back in) for the command-line tool; everything else — tests,
 benchmarks, the hosting-platform simulator — stays in memory, which keeps the
 reproduction fast and hermetic.
 """
@@ -30,6 +35,7 @@ from repro.vcs.storage import BackendSpec
 from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Blob, Commit, Signature, Tag
 from repro.vcs.refs import DEFAULT_BRANCH, RefStore
 from repro.vcs.treeops import flatten_files, lookup_path, subtree_oid
+from repro.vcs.worktree_state import WorktreeState
 
 __all__ = ["Repository", "CommitInfo", "PreparedMerge", "MergeOutcome", "WorktreeStatus"]
 
@@ -112,7 +118,7 @@ class Repository:
         self.store = ObjectStore(backend=storage)
         self.refs = RefStore(default_branch=default_branch)
         self.index = StagingIndex()
-        self.worktree: dict[str, bytes] = {}
+        self._worktree = WorktreeState()
         # Callables invoked at the start of commit(), before staging.  The
         # citation layer registers its flush here so deferred (batched)
         # citation.cite writes can never be missed by a snapshot, even when
@@ -222,28 +228,48 @@ class Repository:
     # Working-tree operations
     # ------------------------------------------------------------------
 
+    @property
+    def worktree(self) -> WorktreeState:
+        """The working tree: a mapping from canonical path to file bytes."""
+        return self._worktree
+
+    @worktree.setter
+    def worktree(self, mapping) -> None:
+        # Wholesale replacement (merge, tests): any plain mapping is adopted
+        # by rebuilding the indexes in one pass.  An adopted WorktreeState
+        # must drop its known-stored flags — they assert blob membership in
+        # *some* store, not necessarily this repository's — or add() would
+        # skip puts and commit a tree referencing missing blobs.  Content
+        # fingerprints themselves are store-independent and stay valid.
+        if isinstance(mapping, WorktreeState):
+            self._worktree = mapping
+            self._worktree.forget_stored()
+        else:
+            self._worktree = WorktreeState(mapping)
+
     def write_file(self, path: str, data: bytes | str) -> str:
-        """Create or overwrite a file in the working tree; returns its canonical path."""
+        """Create or overwrite a file in the working tree; returns its canonical path.
+
+        The file/directory invariant check is O(depth + log n) against the
+        worktree's sorted path index — never a scan over every file.
+        """
         canonical = normalize_path(path)
         if canonical == ROOT:
             raise VCSError("cannot write a file at the repository root path '/'")
-        for existing in self.worktree:
-            if is_ancestor(canonical, existing):
-                raise VCSError(f"{canonical!r} is a directory (contains {existing!r})")
-            if is_ancestor(existing, canonical):
-                raise VCSError(f"{existing!r} is a file; cannot create {canonical!r} beneath it")
+        self._worktree.check_can_create(canonical, error=VCSError)
         payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
-        self.worktree[canonical] = payload
+        self._worktree[canonical] = payload
         return canonical
 
     def write_files(self, files: Mapping[str, bytes | str]) -> list[str]:
         """Create or overwrite many working-tree files in one batch.
 
-        Equivalent to :meth:`write_file` per entry but validates the
-        file/directory invariant once over the sorted union of old and new
-        paths (adjacent-pair ancestry check) instead of scanning the whole
-        worktree per file — O((n+m) log(n+m)) for the batch rather than
-        O(n·m).  Returns the canonical paths written, sorted.
+        Equivalent to :meth:`write_file` per entry but validated in one pass:
+        ancestor conflicts are O(depth) set probes, descendant conflicts one
+        bisect range probe per new path against the worktree's index and the
+        incoming set — O(m (d + log n + log m)) for the batch.  Nothing is
+        written unless the entire batch is conflict-free.  Returns the
+        canonical paths written, sorted.
         """
         incoming: dict[str, bytes] = {}
         for path, data in files.items():
@@ -254,23 +280,22 @@ class Repository:
                 data.encode("utf-8") if isinstance(data, str) else bytes(data)
             )
         # The worktree invariant: no path may be an ancestor of another.
-        # Ancestor-of-new conflicts are set probes over the union; new-over-
-        # existing-file conflicts are one bisect range probe per new path.
-        union = set(self.worktree) | set(incoming)
-        union_sorted = sorted(union)
-        for canonical in incoming:
+        incoming_sorted = sorted(incoming)
+        worktree = self._worktree
+        for canonical in incoming_sorted:
             for ancestor in ancestors(canonical):
-                if ancestor != ROOT and ancestor in union:
+                if ancestor != ROOT and (ancestor in worktree or ancestor in incoming):
                     raise VCSError(
                         f"{ancestor!r} is a file; cannot create {canonical!r} beneath it"
                     )
-            lower, upper = descendant_slice(union_sorted, canonical)
-            if lower < upper:
-                raise VCSError(
-                    f"{canonical!r} is a directory (contains {union_sorted[lower]!r})"
-                )
-        self.worktree.update(incoming)
-        return sorted(incoming)
+            contained = worktree.first_descendant(canonical)
+            lower, upper = descendant_slice(incoming_sorted, canonical)
+            if lower < upper and (contained is None or incoming_sorted[lower] < contained):
+                contained = incoming_sorted[lower]
+            if contained is not None:
+                raise VCSError(f"{canonical!r} is a directory (contains {contained!r})")
+        worktree.bulk_update(incoming)
+        return incoming_sorted
 
     def read_file(self, path: str) -> bytes:
         """Return the working-tree content of ``path``."""
@@ -290,69 +315,104 @@ class Repository:
         canonical = normalize_path(path)
         if canonical == ROOT:
             return True
-        return any(is_ancestor(canonical, existing) for existing in self.worktree)
+        return self._worktree.has_directory(canonical)
 
     def remove_file(self, path: str) -> None:
         canonical = normalize_path(path)
         if canonical not in self.worktree:
             raise VCSError(f"no such file in the working tree: {canonical!r}")
-        del self.worktree[canonical]
+        del self._worktree[canonical]
         self.index.discard(canonical)
 
     def remove_directory(self, path: str) -> list[str]:
         """Remove every file under ``path``; returns the removed paths."""
         canonical = normalize_path(path)
-        victims = [p for p in self.worktree if is_ancestor(canonical, p) or p == canonical]
+        victims = self._worktree.files_under(canonical)
         if not victims:
             raise VCSError(f"no such directory in the working tree: {canonical!r}")
         for victim in victims:
-            del self.worktree[victim]
+            del self._worktree[victim]
             self.index.discard(victim)
-        return sorted(victims)
+        return victims
 
     def move_file(self, source: str, destination: str) -> None:
-        """Move/rename a single file in the working tree."""
-        data = self.read_file(source)
-        self.remove_file(source)
-        self.write_file(destination, data)
+        """Move/rename a single file in the working tree.
+
+        The destination is validated against the worktree *minus the source*
+        (the move vacates it) before anything mutates, so a conflicting move
+        leaves the tree unchanged.
+        """
+        src = normalize_path(source)
+        if src not in self.worktree:
+            raise VCSError(f"no such file in the working tree: {src!r}")
+        dst = normalize_path(destination)
+        if dst == ROOT:
+            raise VCSError("cannot write a file at the repository root path '/'")
+        if dst != src:
+            for ancestor in ancestors(dst):
+                if ancestor != ROOT and ancestor != src and ancestor in self._worktree:
+                    raise VCSError(
+                        f"{ancestor!r} is a file; cannot create {dst!r} beneath it"
+                    )
+            contained = self._first_surviving_descendant(dst, src)
+            if contained is not None:
+                raise VCSError(f"{dst!r} is a directory (contains {contained!r})")
+            self._worktree.move_entry(src, dst)
+        self.index.discard(src)
 
     def move_directory(self, source: str, destination: str) -> dict[str, str]:
-        """Move/rename a directory; returns ``{old path: new path}`` for its files."""
+        """Move/rename a directory; returns ``{old path: new path}`` for its files.
+
+        The move is atomic: the *entire* destination set is validated against
+        the surviving worktree before any path is touched, so a conflicting
+        move raises without leaving the tree half-moved.
+        """
         src = normalize_path(source)
         dst = normalize_path(destination)
-        moves: dict[str, str] = {}
-        victims = sorted(p for p in self.worktree if is_ancestor(src, p))
+        victims = self._worktree.files_under(src, include_base=False)
         if not victims:
             raise VCSError(f"no such directory in the working tree: {src!r}")
-        for old_path in victims:
-            new_path = join_path(dst, relative_to(old_path, src))
-            moves[old_path] = new_path
-        contents = {old: self.worktree[old] for old in victims}
-        for old_path in victims:
-            del self.worktree[old_path]
+        moves = {old: join_path(dst, relative_to(old, src)) for old in victims}
+        if dst == src:
+            for old_path in victims:
+                self.index.discard(old_path)
+            return moves
+        # The destinations preserve the victims' relative structure, so they
+        # cannot conflict among themselves; validate each against the paths
+        # that survive the move (everything outside the source subtree).
+        destination_set = set(moves.values())
+        for new_path in moves.values():
+            for ancestor in ancestors(new_path):
+                if ancestor == ROOT or ancestor in destination_set:
+                    continue
+                if ancestor in self._worktree and not is_ancestor(src, ancestor):
+                    raise VCSError(
+                        f"{ancestor!r} is a file; cannot create {new_path!r} beneath it"
+                    )
+            contained = self._first_surviving_descendant(new_path, src)
+            if contained is not None and contained not in destination_set:
+                raise VCSError(f"{new_path!r} is a directory (contains {contained!r})")
+        self._worktree.move_entries(moves)
+        for old_path in moves:
             self.index.discard(old_path)
-        for old_path, new_path in moves.items():
-            self.write_file(new_path, contents[old_path])
         return moves
+
+    def _first_surviving_descendant(self, path: str, vacated: str) -> str | None:
+        """A worktree file strictly beneath ``path`` that is *not* at or
+        beneath ``vacated`` (paths being moved away do not count as
+        conflicts)."""
+        for candidate in self._worktree.files_under(path, include_base=False):
+            if not is_ancestor(vacated, candidate, strict=False):
+                return candidate
+        return None
 
     def list_files(self, under: str = ROOT) -> list[str]:
         """Return the working-tree file paths under ``under`` (sorted)."""
-        base = normalize_path(under)
-        if base == ROOT:
-            return sorted(self.worktree)
-        return sorted(p for p in self.worktree if is_ancestor(base, p) or p == base)
+        return self._worktree.files_under(normalize_path(under))
 
     def list_directories(self, under: str = ROOT) -> list[str]:
         """Return every (implicit) directory path in the working tree."""
-        base = normalize_path(under)
-        directories: set[str] = {ROOT}
-        for path in self.worktree:
-            parts = path[1:].split("/")
-            for cut in range(1, len(parts)):
-                directories.add("/" + "/".join(parts[:cut]))
-        if base == ROOT:
-            return sorted(directories)
-        return sorted(d for d in directories if d == base or is_ancestor(base, d))
+        return self._worktree.directories(normalize_path(under))
 
     # ------------------------------------------------------------------
     # Staging and committing
@@ -361,6 +421,20 @@ class Repository:
     def _run_pre_commit_hooks(self) -> None:
         for hook in tuple(self._pre_commit_hooks):
             hook()
+
+    def _stage_oid(self, path: str) -> str:
+        """The blob oid of a worktree file, stored if not already.
+
+        Clean paths (fingerprint cached and known stored) cost two dict
+        probes; only dirty paths construct, hash and :meth:`ObjectStore.put`
+        a blob — which is what makes ``add``/``commit`` O(changed).
+        """
+        worktree = self._worktree
+        if worktree.is_stored(path):
+            return worktree.fingerprint(path)
+        oid = self.store.put(Blob(worktree[path]))
+        worktree.mark_stored(path, oid)
+        return oid
 
     def add(self, paths: Iterable[str] | None = None) -> list[str]:
         """Stage working-tree files (all of them when ``paths`` is ``None``)."""
@@ -371,10 +445,12 @@ class Repository:
         if paths is None:
             # Mirror the worktree wholesale (recording deletions too).  The
             # worktree already enforces the file/directory invariants, so the
-            # per-path conflict checks of stage() are unnecessary here.
-            targets = sorted(self.worktree)
+            # per-path conflict checks of stage() are unnecessary here, and
+            # its fingerprint cache means only dirty blobs are hashed.
+            targets = self._worktree.sorted_paths()
             self.index.replace(
-                {path: (self.store.put(Blob(self.worktree[path])), MODE_FILE) for path in targets}
+                {path: (self._stage_oid(path), MODE_FILE) for path in targets},
+                assume_canonical=True,
             )
             return targets
         else:
@@ -384,14 +460,13 @@ class Repository:
                 if canonical in self.worktree:
                     targets.append(canonical)
                 elif self.directory_exists(canonical):
-                    targets.extend(p for p in self.worktree if is_ancestor(canonical, p))
+                    targets.extend(self._worktree.files_under(canonical, include_base=False))
                 else:
                     # Path was deleted from the working tree: unstage it.
                     self.index.discard(canonical)
         staged: list[str] = []
         for path in targets:
-            blob = Blob(self.worktree[path])
-            oid = self.store.put(blob)
+            oid = self._stage_oid(path)
             self.index.discard(path)
             self.index.stage(path, oid)
             staged.append(path)
@@ -554,7 +629,13 @@ class Repository:
     def _load_worktree(self, commit_oid: str) -> None:
         commit = self.store.get_commit(commit_oid)
         files = flatten_files(self.store, commit.tree_oid)
-        self.worktree = {path: self.store.get_blob(oid).data for path, (oid, _) in files.items()}
+        # Blob oids come straight from the tree, so every fingerprint is
+        # primed as known-stored: the first add/status after a checkout
+        # hashes nothing.
+        self._worktree = WorktreeState()
+        self._worktree.load_committed(
+            (path, self.store.get_blob(oid).data, oid) for path, (oid, _) in files.items()
+        )
         self.index.read_tree(self.store, commit.tree_oid)
         self._notify_worktree_reload()
 
@@ -645,14 +726,16 @@ class Repository:
         deleted: list[str] = []
         untracked: list[str] = []
         tracked = set(head_files) | set(self.index.entries())
-        for path, data in self.worktree.items():
+        for path in self._worktree:
             if path not in tracked:
                 untracked.append(path)
                 continue
             reference = self.index.get(path) or head_files.get(path)
             if reference is None:
                 untracked.append(path)
-            elif Blob(data).oid != reference[0]:
+            elif self._worktree.fingerprint(path) != reference[0]:
+                # The fingerprint cache means a clean worktree re-hashes
+                # nothing here, no matter how often status runs.
                 modified.append(path)
         for path in tracked:
             if path not in self.worktree:

@@ -82,6 +82,16 @@ class ObjectBackend(ABC):
     def _delete(self, oid: str) -> None:  # pragma: no cover - overridden
         raise StorageError(f"{self.kind} backend cannot delete individual objects")
 
+    def open_file_handles(self) -> int:
+        """How many file handles the backend currently holds open.
+
+        Layouts that keep read handles alive (the pack backend's bounded
+        handle pool) override this; memory/loose layouts open nothing
+        between calls and report 0.  Surfaced through :meth:`stats` for the
+        CLI and the resource-bound regression tests.
+        """
+        return 0
+
     def total_payload_size(self) -> int:
         """Total *logical* payload bytes (not on-disk bytes) across objects."""
         return sum(len(self.read(oid)[1]) for oid in self.iter_oids())

@@ -28,6 +28,20 @@ full payload).  :meth:`repack` rewrites all packs as one, re-running delta
 selection over the full object population; with a ``keep`` set it doubles as
 the garbage collector.  A missing/corrupt ``.idx`` is rebuilt by scanning the
 pack, so the index is a cache, never the source of truth.
+
+Two structures keep the read path flat as packs accumulate between repacks:
+
+* a **multi-pack index** (``multi-pack-index.midx``): one merged fanout over
+  every pack, mapping each oid to ``(pack, record offset)``, rebuilt on
+  ``flush``/``repack`` and validated against the pack set on open — a cold
+  open with a valid midx reads one index file no matter how many packs
+  exist, and every lookup is a single bisect instead of a per-pack probe
+  loop.  Like the per-pack ``.idx`` it is a cache: stale, missing or corrupt
+  midx files are rebuilt from the per-pack indexes (which are themselves
+  recoverable by scanning the packs);
+* a **bounded handle pool**: pack file handles are opened lazily and kept in
+  an LRU of at most ``handle_limit`` open files, so a store fragmented into
+  many packs cannot hold one descriptor per pack forever.
 """
 
 from __future__ import annotations
@@ -38,9 +52,10 @@ import os
 import struct
 import zlib
 from bisect import bisect_left
+from collections import OrderedDict
 from difflib import SequenceMatcher
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator
 
 from repro.errors import CorruptObjectError, StorageError
 from repro.utils.hashing import object_id
@@ -50,6 +65,10 @@ __all__ = ["PackBackend"]
 
 _PACK_MAGIC = b"RPCK1\n"
 _INDEX_MAGIC = b"RIDX1\n"
+_MIDX_MAGIC = b"RMIDX1\n"
+_MIDX_NAME = "multi-pack-index.midx"
+#: Upper bound on simultaneously open pack file handles.
+_DEFAULT_HANDLE_LIMIT = 32
 #: Longest possible record header line, with margin (kind + type + 2 oids).
 _MAX_HEADER_BYTES = 160
 #: How many recently packed blobs are considered as delta bases.
@@ -161,27 +180,83 @@ def _delta_worth_trying(base: bytes, target: bytes) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Bounded pool of open pack file handles
+# ---------------------------------------------------------------------------
+
+
+class _HandlePool:
+    """An LRU of open read handles, bounded to ``limit`` descriptors."""
+
+    def __init__(self, limit: int = _DEFAULT_HANDLE_LIMIT) -> None:
+        self.limit = max(1, limit)
+        self._handles: "OrderedDict[Path, BinaryIO]" = OrderedDict()
+
+    def acquire(self, path: Path) -> BinaryIO:
+        handle = self._handles.get(path)
+        if handle is not None and not handle.closed:
+            self._handles.move_to_end(path)
+            return handle
+        handle = path.open("rb")
+        self._handles[path] = handle
+        while len(self._handles) > self.limit:
+            _, evicted = self._handles.popitem(last=False)
+            evicted.close()
+        return handle
+
+    def discard(self, path: Path) -> None:
+        handle = self._handles.pop(path, None)
+        if handle is not None:
+            handle.close()
+
+    def close_all(self) -> None:
+        while self._handles:
+            _, handle = self._handles.popitem()
+            handle.close()
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for handle in self._handles.values() if not handle.closed)
+
+
+# ---------------------------------------------------------------------------
 # A single on-disk pack and its fanout index
 # ---------------------------------------------------------------------------
 
 
 class _PackFile:
-    """One immutable pack file plus its in-memory fanout index."""
+    """One immutable pack file plus its (lazily loaded) fanout index.
 
-    def __init__(self, pack_path: Path) -> None:
+    With ``defer_index=True`` the ``.idx`` is not touched until the first
+    per-pack lookup — a backend whose multi-pack index is valid never loads
+    it at all.  ``pool`` shares a bounded handle pool across packs; without
+    one the pack owns a private handle (standalone/test use).
+    """
+
+    def __init__(self, pack_path: Path, pool: _HandlePool | None = None,
+                 defer_index: bool = False) -> None:
         self.path = pack_path
         self.index_path = pack_path.with_suffix(".idx")
+        self._pool = pool
         self._handle = None
         self._oids: list[str] = []
         self._offsets: list[int] = []
         self._fanout: list[int] = [0] * 257
+        self._indexed = False
+        if not defer_index:
+            self._ensure_index()
+
+    def _ensure_index(self) -> None:
+        if self._indexed:
+            return
         if self.index_path.is_file():
             try:
                 self._load_index()
+                self._indexed = True
                 return
             except (OSError, ValueError, struct.error):
                 pass  # fall through to a rebuild from the pack itself
         self._rebuild_index()
+        self._indexed = True
 
     # -- index (de)serialisation ------------------------------------------
 
@@ -252,11 +327,18 @@ class _PackFile:
     # -- lookups -----------------------------------------------------------
 
     def __len__(self) -> int:
+        self._ensure_index()
         return len(self._oids)
 
     @property
     def oids(self) -> list[str]:
+        self._ensure_index()
         return self._oids
+
+    def entries(self) -> Iterator[tuple[str, int]]:
+        """Sorted ``(oid, offset)`` pairs (the midx merges these)."""
+        self._ensure_index()
+        return zip(self._oids, self._offsets)
 
     def lookup(self, oid: str) -> int | None:
         """Record offset of ``oid`` via fanout bucket + bisect, or ``None``.
@@ -270,6 +352,7 @@ class _PackFile:
             return None
         if bucket < 0 or len(oid) != 40:
             return None
+        self._ensure_index()
         low, high = self._fanout[bucket], self._fanout[bucket + 1]
         position = bisect_left(self._oids, oid, low, high)
         if position < high and self._oids[position] == oid:
@@ -279,6 +362,8 @@ class _PackFile:
     # -- record access -----------------------------------------------------
 
     def _file(self):
+        if self._pool is not None:
+            return self._pool.acquire(self.path)
         if self._handle is None:
             self._handle = self.path.open("rb")
         return self._handle
@@ -316,9 +401,180 @@ class _PackFile:
         return fields[0], fields[1], fields[4] if fields[0] == "delta" else None
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.discard(self.path)
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The multi-pack index
+# ---------------------------------------------------------------------------
+
+
+class _MultiPackIndex:
+    """One merged fanout index across every pack of a backend.
+
+    ``multi-pack-index.midx`` layout::
+
+        b"RMIDX1\\n"
+        uint32 pack count
+        per pack: uint16 name length + ascii pack file name
+        256 big-endian uint32 cumulative bucket counts (fanout over oid[0:2])
+        per oid, sorted: 20 raw oid bytes + uint32 pack number + uint64 offset
+
+    The recorded pack-name list doubles as the staleness check: packs are
+    immutable and digest-named, so the midx is valid exactly when its name
+    list matches the backend's current packs (in order).  Duplicated oids
+    keep their first (oldest-pack) entry; any copy verifies against the oid
+    on read, so the choice is free.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.path = root / _MIDX_NAME
+        self.pack_names: list[str] = []
+        self._oids: list[str] = []
+        self._pack_numbers: list[int] = []
+        self._offsets: list[int] = []
+        self._fanout: list[int] = [0] * 257
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: Path, expected_names: set[str]) -> "_MultiPackIndex | None":
+        """Load a midx covering exactly the pack set ``expected_names``.
+
+        Pack *order* is whatever the midx recorded (append order — the
+        backend re-orders its pack list to match); a differing name set
+        means packs were added or removed behind the midx, so it is stale
+        and ``None`` is returned for a rebuild.
+        """
+        midx = cls(root)
+        if not midx.path.is_file():
+            return None
+        try:
+            raw = midx.path.read_bytes()
+            if not raw.startswith(_MIDX_MAGIC):
+                return None
+            cursor = len(_MIDX_MAGIC)
+            (pack_count,) = struct.unpack_from(">I", raw, cursor)
+            cursor += 4
+            names: list[str] = []
+            for _ in range(pack_count):
+                (name_length,) = struct.unpack_from(">H", raw, cursor)
+                cursor += 2
+                names.append(raw[cursor:cursor + name_length].decode("ascii"))
+                cursor += name_length
+            if set(names) != expected_names or len(names) != len(expected_names):
+                return None
+            counts = struct.unpack_from(">256I", raw, cursor)
+            cursor += 256 * 4
+            midx._fanout = [0] + list(counts)
+            for _ in range(counts[255]):
+                oid_bytes = raw[cursor:cursor + 20]
+                pack_number, offset = struct.unpack_from(">IQ", raw, cursor + 20)
+                midx._oids.append(oid_bytes.hex())
+                midx._pack_numbers.append(pack_number)
+                midx._offsets.append(offset)
+                cursor += 32
+        except (OSError, ValueError, struct.error):
+            return None
+        midx.pack_names = names
+        return midx
+
+    @classmethod
+    def build(
+        cls,
+        root: Path,
+        streams: list[tuple[str, Iterable[tuple[str, int]]]],
+        write: bool = True,
+    ) -> "_MultiPackIndex":
+        """Merge per-pack ``(oid, offset)`` streams into one index.
+
+        ``streams`` pairs each pack file name with its sorted entries —
+        either a pack's own ``.idx`` content or a slice of a previous midx,
+        so appending a pack never forces older packs' indexes to be read.
+        """
+        midx = cls(root)
+        midx.pack_names = [name for name, _ in streams]
+
+        def tag(number: int, entries: Iterable[tuple[str, int]]):
+            for oid, offset in entries:
+                yield oid, number, offset
+
+        tagged = [tag(number, entries) for number, (_, entries) in enumerate(streams)]
+        previous = None
+        for oid, pack_number, offset in heapq.merge(*tagged):
+            if oid == previous:
+                continue
+            previous = oid
+            midx._oids.append(oid)
+            midx._pack_numbers.append(pack_number)
+            midx._offsets.append(offset)
+        counts = [0] * 256
+        for oid in midx._oids:
+            counts[int(oid[:2], 16)] += 1
+        running = 0
+        fanout = [0]
+        for count in counts:
+            running += count
+            fanout.append(running)
+        midx._fanout = fanout
+        if write:
+            midx._write()
+        return midx
+
+    def _write(self) -> None:
+        blob = bytearray(_MIDX_MAGIC)
+        blob += struct.pack(">I", len(self.pack_names))
+        for name in self.pack_names:
+            encoded = name.encode("ascii")
+            blob += struct.pack(">H", len(encoded))
+            blob += encoded
+        blob += struct.pack(">256I", *self._fanout[1:])
+        for oid, pack_number, offset in zip(self._oids, self._pack_numbers, self._offsets):
+            blob += bytes.fromhex(oid)
+            blob += struct.pack(">IQ", pack_number, offset)
+        try:
+            temporary = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
+            temporary.write_bytes(bytes(blob))
+            os.replace(temporary, self.path)
+        except OSError:
+            # The midx is a cache; an unwritable one degrades to the
+            # in-memory copy for this process and a rebuild next open.
+            pass
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._oids)
+
+    @property
+    def oids(self) -> list[str]:
+        return self._oids
+
+    def lookup(self, oid: str) -> tuple[int, int] | None:
+        """``(pack number, record offset)`` for ``oid``, or ``None``."""
+        try:
+            bucket = int(oid[:2], 16)
+        except ValueError:
+            return None
+        if bucket < 0 or len(oid) != 40:
+            return None
+        low, high = self._fanout[bucket], self._fanout[bucket + 1]
+        position = bisect_left(self._oids, oid, low, high)
+        if position < high and self._oids[position] == oid:
+            return self._pack_numbers[position], self._offsets[position]
+        return None
+
+    def entries_by_pack(self) -> list[list[tuple[str, int]]]:
+        """Per-pack sorted ``(oid, offset)`` lists, one scan over the index
+        (for append merges — older packs' ``.idx`` files stay untouched)."""
+        buckets: list[list[tuple[str, int]]] = [[] for _ in self.pack_names]
+        for oid, number, offset in zip(self._oids, self._pack_numbers, self._offsets):
+            buckets[number].append((oid, offset))
+        return buckets
 
 
 # ---------------------------------------------------------------------------
@@ -327,11 +583,17 @@ class _PackFile:
 
 
 class PackBackend(ObjectBackend):
-    """Buffered writes + append-only packs + fanout-indexed reads."""
+    """Buffered writes + append-only packs + fanout-indexed reads.
+
+    ``use_midx`` (default on) maintains the multi-pack index so lookups are
+    one bisect across all packs and cold opens read a single index file;
+    ``handle_limit`` bounds the pool of simultaneously open pack handles.
+    """
 
     kind = "pack"
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, use_midx: bool = True,
+                 handle_limit: int = _DEFAULT_HANDLE_LIMIT) -> None:
         super().__init__()
         self.root = Path(root)
         try:
@@ -339,9 +601,28 @@ class PackBackend(ObjectBackend):
         except OSError as exc:
             raise StorageError(f"cannot create pack directory {self.root}: {exc}") from exc
         self._pending: dict[str, tuple[str, bytes]] = {}
+        self._pool = _HandlePool(handle_limit)
+        self._use_midx = use_midx
+        self._midx: _MultiPackIndex | None = None
         self._packs: list[_PackFile] = []
         for pack_path in sorted(self.root.glob("pack-*.pack")):
-            self._packs.append(_PackFile(pack_path))
+            self._packs.append(_PackFile(pack_path, pool=self._pool, defer_index=use_midx))
+        if use_midx:
+            self._midx = _MultiPackIndex.load(
+                self.root, {pack.path.name for pack in self._packs}
+            )
+            if self._midx is not None:
+                # The midx's entries are keyed by its own (append-order)
+                # pack numbering; adopt that ordering.
+                by_name = {pack.path.name: pack for pack in self._packs}
+                self._packs = [by_name[name] for name in self._midx.pack_names]
+            else:
+                # Missing/stale/corrupt: rebuild from the per-pack indexes
+                # (each itself recoverable by scanning its pack).
+                self._midx = _MultiPackIndex.build(
+                    self.root,
+                    [(pack.path.name, pack.entries()) for pack in self._packs],
+                )
 
     # -- core API ----------------------------------------------------------
 
@@ -353,16 +634,35 @@ class PackBackend(ObjectBackend):
         return True
 
     def _packed_lookup(self, oid: str) -> tuple[_PackFile, int] | None:
+        if self._midx is not None:
+            located = self._midx.lookup(oid)
+            if located is None:
+                return None
+            pack_number, offset = located
+            return self._packs[pack_number], offset
         for pack in self._packs:
             offset = pack.lookup(oid)
             if offset is not None:
                 return pack, offset
         return None
 
+    def _base_offset_in(self, pack: _PackFile, base_oid: str) -> int | None:
+        """Offset of a delta's base record, which lives in the same pack.
+
+        The midx may map a duplicated base oid to a *different* pack, so it
+        is only trusted when it points into ``pack``; otherwise the pack's
+        own index answers.
+        """
+        if self._midx is not None:
+            located = self._midx.lookup(base_oid)
+            if located is not None and self._packs[located[0]] is pack:
+                return located[1]
+        return pack.lookup(base_oid)
+
     def _read_packed(self, pack: _PackFile, offset: int, oid: str) -> tuple[str, bytes]:
         kind, type_name, data, base_oid = pack.read_record(offset)
         if kind == "delta":
-            base_offset = pack.lookup(base_oid) if base_oid else None
+            base_offset = self._base_offset_in(pack, base_oid) if base_oid else None
             if base_offset is None:
                 raise CorruptObjectError(oid, f"delta base {base_oid} missing from pack")
             base_kind, _, base_data, _ = pack.read_record(base_offset)
@@ -401,9 +701,12 @@ class PackBackend(ObjectBackend):
         return sum(1 for _ in self.iter_oids())
 
     def iter_oids(self) -> Iterator[str]:
-        """All oids in sorted order (merge of pending + per-pack indexes)."""
+        """All oids in sorted order (merge of pending + packed indexes)."""
         streams: list[Iterable[str]] = [sorted(self._pending)]
-        streams.extend(pack.oids for pack in self._packs)
+        if self._midx is not None:
+            streams.append(self._midx.oids)
+        else:
+            streams.extend(pack.oids for pack in self._packs)
         previous = None
         for oid in heapq.merge(*streams):
             if oid != previous:
@@ -480,7 +783,7 @@ class PackBackend(ObjectBackend):
                 handle.write(body)
         os.replace(temporary, pack_path)
         _PackFile.write_index(pack_path.with_suffix(".idx"), entries)
-        return _PackFile(pack_path)
+        return _PackFile(pack_path, pool=self._pool)
 
     def _write_pack(self, objects: dict[str, tuple[str, bytes]]) -> _PackFile:
         """Materialise in-memory ``objects`` as one pack (+ index)."""
@@ -489,17 +792,43 @@ class PackBackend(ObjectBackend):
         )
         return self._write_pack_stream(ordered, objects.__getitem__)
 
+    def _rebuild_midx(self, appended: _PackFile | None = None) -> None:
+        """Refresh the multi-pack index after the pack set changed.
+
+        Appending a pack merges the previous midx with the new pack's
+        entries — older packs' ``.idx`` files are not re-read.
+        """
+        if not self._use_midx:
+            return
+        if (
+            appended is not None
+            and self._midx is not None
+            and self._midx.pack_names == [p.path.name for p in self._packs[:-1]]
+        ):
+            streams = list(zip(self._midx.pack_names, self._midx.entries_by_pack()))
+            streams.append((appended.path.name, list(appended.entries())))
+        else:
+            streams = [(pack.path.name, pack.entries()) for pack in self._packs]
+        self._midx = _MultiPackIndex.build(self.root, streams)
+
     def flush(self) -> None:
-        """Append pending objects as a new pack file."""
+        """Append pending objects as a new pack file (and refresh the midx)."""
         if not self._pending:
             return
-        self._packs.append(self._write_pack(self._pending))
+        new_pack = self._write_pack(self._pending)
+        self._packs.append(new_pack)
         self._pending = {}
+        self._rebuild_midx(appended=new_pack)
 
     def close(self) -> None:
         self.flush()
         for pack in self._packs:
             pack.close()
+        self._pool.close_all()
+
+    def open_file_handles(self) -> int:
+        """How many pack file handles are currently open (pool-bounded)."""
+        return self._pool.open_count
 
     # -- maintenance -------------------------------------------------------
 
@@ -541,6 +870,7 @@ class PackBackend(ObjectBackend):
                 except OSError:
                     pass
         self._packs = [new_pack] if new_pack is not None else []
+        self._rebuild_midx()
         dropped = before["objects"] - len(ordered)
         if dropped:
             self.mutation_counter += 1
@@ -574,5 +904,7 @@ class PackBackend(ObjectBackend):
             "packs": len(self._packs),
             "pending": len(self._pending),
             "disk_bytes": self.on_disk_bytes(),
+            "open_handles": self.open_file_handles(),
+            "midx": self._midx is not None,
             "root": str(self.root),
         }

@@ -9,10 +9,12 @@ path.  This module converts between the two representations.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterator, Mapping
 
 from repro.errors import VCSError
 from repro.utils.paths import ROOT, join_path, normalize_path, split_path
+from repro.utils.sortedkeys import descendant_slice
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Tree, TreeEntry
 
@@ -21,6 +23,7 @@ __all__ = [
     "flatten_files",
     "build_tree",
     "build_tree_incremental",
+    "build_tree_from_sorted_index",
     "lookup_path",
     "list_directories",
     "subtree_oid",
@@ -167,6 +170,70 @@ def build_tree_incremental(
         return oid
 
     root_oid = _build(nested, ROOT)
+    return root_oid, new_cache, stats
+
+
+def build_tree_from_sorted_index(
+    store: ObjectStore,
+    sorted_paths: list[str],
+    entries: Mapping[str, tuple[str, str]],
+    cached_subtrees: Mapping[str, str],
+    dirty_directories: set[str],
+) -> tuple[str, dict[str, str], dict[str, int]]:
+    """Build nested trees from a *sorted* path list, touching only dirty work.
+
+    The O(n) half of :func:`build_tree_incremental` is its pass over every
+    file entry to nest them, even when almost every subtree is pruned.  Here
+    a directory's direct children are enumerated by bisect jumps over the
+    sorted path list (each child costs one bisect to skip its subtree), and
+    only dirty directories are descended into — clean ones are emitted from
+    ``cached_subtrees`` without their ranges ever being visited.  For a
+    commit that touched one file this is O(changed · depth · branching ·
+    log n) instead of O(n).
+
+    ``sorted_paths`` must be the sorted keys of ``entries`` (the staging
+    index maintains exactly that), all canonical, satisfying the worktree
+    invariant.  Return value and stats match :func:`build_tree_incremental`.
+    """
+    new_cache = {
+        path: oid for path, oid in cached_subtrees.items() if path not in dirty_directories
+    }
+    stats = {"built": 0, "reused": 0}
+
+    def build(dir_path: str) -> str:
+        if dir_path == ROOT:
+            low, high = 0, len(sorted_paths)
+            prefix = "/"
+        else:
+            low, high = descendant_slice(sorted_paths, dir_path)
+            prefix = dir_path + "/"
+        tree_entries: list[TreeEntry] = []
+        position = low
+        while position < high:
+            path = sorted_paths[position]
+            remainder = path[len(prefix):]
+            cut = remainder.find("/")
+            if cut < 0:
+                blob_oid, mode = entries[path]
+                tree_entries.append(TreeEntry(name=remainder, oid=blob_oid, mode=mode))
+                position += 1
+                continue
+            name = remainder[:cut]
+            child_path = prefix + name
+            if child_path in dirty_directories or child_path not in cached_subtrees:
+                child_oid = build(child_path)
+            else:
+                child_oid = cached_subtrees[child_path]
+                stats["reused"] += 1
+            tree_entries.append(TreeEntry(name=name, oid=child_oid, mode=MODE_DIRECTORY))
+            # Skip the whole child subtree: "0" is the successor of "/".
+            position = bisect_left(sorted_paths, child_path + "0", position, high)
+        oid = store.put(Tree(entries=tuple(tree_entries)))
+        new_cache[dir_path] = oid
+        stats["built"] += 1
+        return oid
+
+    root_oid = build(ROOT)
     return root_oid, new_cache, stats
 
 

@@ -39,7 +39,8 @@ def export_worktree(repo: Repository, destination: str | os.PathLike[str]) -> li
     root = Path(destination)
     root.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
-    for repo_path, data in sorted(repo.worktree.items()):
+    # The indexed worktree iterates in sorted path order already.
+    for repo_path, data in repo.worktree.items():
         target = _target_path(root, repo_path)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_bytes(data)

@@ -1,0 +1,278 @@
+"""The indexed working tree: a mapping with a path index and blob fingerprints.
+
+:class:`WorktreeState` replaces the raw ``{path: bytes}`` dict that
+:class:`~repro.vcs.repository.Repository` used to hold its working tree.  It
+is mapping-compatible (``repo.worktree[path]``, iteration, equality against
+plain dicts all behave identically), but maintains three auxiliary indexes
+that turn the repository's per-operation worktree scans into bounded probes:
+
+* a **sorted path index**, so "does this path have descendants?" and "which
+  files live under this directory?" are bisect range probes
+  (:func:`repro.utils.sortedkeys.descendant_slice`) instead of O(n) scans;
+* a **directory index** mapping every implicit directory to the number of
+  files beneath it, so ``directory_exists`` is an O(1) dict probe and
+  ``list_directories`` enumerates directories without re-deriving them from
+  every file path;
+* a per-path **content-fingerprint cache**: the blob oid of each file's
+  current bytes, computed lazily and invalidated by mutation, with a
+  ``stored`` flag recording that the blob is known to live in the owning
+  repository's object store.  ``Repository.add``/``status`` hash only paths
+  whose fingerprint is missing — a commit that touched one file hashes one
+  blob, making commits O(changed) end to end.
+
+Every index is maintained incrementally by the mutation methods; a wholesale
+replacement (:meth:`replace`, checkout) rebuilds them in one sorted pass.
+Keys are canonical repository paths — the :class:`Repository` facade
+normalises before touching the mapping, exactly as it did for the plain dict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, MutableMapping
+
+from repro.utils.hashing import object_id
+from repro.utils.paths import ROOT, ancestors
+from repro.utils.sortedkeys import descendant_slice, sorted_insert, sorted_remove
+
+__all__ = ["WorktreeState"]
+
+
+class WorktreeState(MutableMapping):
+    """A ``{canonical path: bytes}`` mapping with sorted-path and blob-oid indexes."""
+
+    def __init__(self, initial: Mapping[str, bytes] | None = None) -> None:
+        self._files: dict[str, bytes] = {}
+        self._sorted_paths: list[str] = []
+        #: Implicit directory path → number of files anywhere beneath it.
+        self._dir_counts: dict[str, int] = {}
+        self._sorted_dirs: list[str] = []
+        #: path → blob oid of the current bytes (dropped on every mutation).
+        self._fingerprints: dict[str, str] = {}
+        #: Paths whose fingerprinted blob is known present in the repo store.
+        self._stored: set[str] = set()
+        #: Total lazy fingerprint computations (deterministic perf probe).
+        self.hash_count = 0
+        #: Index probes made by the last :meth:`check_can_create` call
+        #: (deterministic perf probe: bounded by path depth, never by size).
+        self.last_check_probes = 0
+        if initial:
+            self.replace(initial)
+
+    # -- mapping protocol --------------------------------------------------
+
+    def __getitem__(self, path: str) -> bytes:
+        return self._files[path]
+
+    def __setitem__(self, path: str, data: bytes) -> None:
+        if path not in self._files:
+            sorted_insert(self._sorted_paths, path)
+            self._index_directories(path, +1)
+        else:
+            self._fingerprints.pop(path, None)
+        self._stored.discard(path)
+        self._files[path] = data
+
+    def __delitem__(self, path: str) -> None:
+        del self._files[path]
+        sorted_remove(self._sorted_paths, path)
+        self._index_directories(path, -1)
+        self._fingerprints.pop(path, None)
+        self._stored.discard(path)
+
+    def __iter__(self) -> Iterator[str]:
+        # Deterministic sorted order (a superset of the plain dict contract,
+        # which promised no particular order).
+        return iter(self._sorted_paths)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, path: object) -> bool:
+        return path in self._files
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorktreeState({len(self._files)} files)"
+
+    def get(self, path: str, default=None):
+        return self._files.get(path, default)
+
+    def clear(self) -> None:
+        self._files.clear()
+        self._sorted_paths.clear()
+        self._dir_counts.clear()
+        self._sorted_dirs.clear()
+        self._fingerprints.clear()
+        self._stored.clear()
+
+    def replace(self, mapping: Mapping[str, bytes]) -> None:
+        """Replace the whole content in one pass (checkout / merge / import)."""
+        self.clear()
+        self._files = dict(mapping)
+        self._sorted_paths = sorted(self._files)
+        self._rebuild_directory_index()
+
+    def bulk_update(self, mapping: Mapping[str, bytes]) -> None:
+        """Add/overwrite many entries at once (one re-sort, not n inserts)."""
+        if not mapping:
+            return
+        if len(mapping) <= 8:
+            for path, data in mapping.items():
+                self[path] = data
+            return
+        for path in mapping:
+            if path in self._files:
+                self._fingerprints.pop(path, None)
+                self._stored.discard(path)
+            else:
+                self._index_directories(path, +1)
+        self._files.update(mapping)
+        self._sorted_paths = sorted(self._files)
+
+    # -- directory index ---------------------------------------------------
+
+    def _index_directories(self, path: str, delta: int) -> None:
+        for ancestor in ancestors(path):
+            count = self._dir_counts.get(ancestor, 0) + delta
+            if count > 0:
+                if ancestor not in self._dir_counts:
+                    sorted_insert(self._sorted_dirs, ancestor)
+                self._dir_counts[ancestor] = count
+            else:
+                self._dir_counts.pop(ancestor, None)
+                sorted_remove(self._sorted_dirs, ancestor)
+
+    def _rebuild_directory_index(self) -> None:
+        self._dir_counts = {}
+        for path in self._files:
+            for ancestor in ancestors(path):
+                self._dir_counts[ancestor] = self._dir_counts.get(ancestor, 0) + 1
+        self._sorted_dirs = sorted(self._dir_counts)
+
+    # -- path-index queries ------------------------------------------------
+
+    def sorted_paths(self) -> list[str]:
+        """All file paths in sorted order (a copy)."""
+        return list(self._sorted_paths)
+
+    def files_under(self, base: str, include_base: bool = True) -> list[str]:
+        """The file paths beneath canonical ``base`` (sorted range probe)."""
+        if base == ROOT:
+            return list(self._sorted_paths)  # the root is never a file
+        lower, upper = descendant_slice(self._sorted_paths, base)
+        selected = self._sorted_paths[lower:upper]
+        if include_base and base in self._files:
+            selected.insert(0, base)
+        return selected
+
+    def first_descendant(self, path: str) -> str | None:
+        """The sorted-first file strictly beneath ``path``, or ``None``."""
+        lower, upper = descendant_slice(self._sorted_paths, path)
+        return self._sorted_paths[lower] if lower < upper else None
+
+    def has_directory(self, path: str) -> bool:
+        """Whether ``path`` is an (implicit) directory — O(1) dict probe."""
+        return path == ROOT or path in self._dir_counts
+
+    def directories(self, base: str = ROOT) -> list[str]:
+        """Every implicit directory path at or beneath canonical ``base``."""
+        if not self._files:
+            return [ROOT] if base == ROOT else []
+        if base == ROOT:
+            return list(self._sorted_dirs)
+        if base not in self._dir_counts:
+            return []
+        lower, upper = descendant_slice(self._sorted_dirs, base)
+        return [base] + self._sorted_dirs[lower:upper]
+
+    def check_can_create(self, path: str, error=ValueError) -> None:
+        """Raise ``error`` if creating a file at canonical ``path`` would
+        violate the worktree invariant (no path is an ancestor of another).
+
+        O(depth) ancestor probes plus one bisect — never a worktree scan.
+        Overwriting an existing file at ``path`` itself is always allowed.
+        """
+        probes = 0
+        for ancestor in ancestors(path):
+            probes += 1
+            if ancestor != ROOT and ancestor in self._files:
+                self.last_check_probes = probes
+                raise error(f"{ancestor!r} is a file; cannot create {path!r} beneath it")
+        probes += 1
+        descendant = self.first_descendant(path)
+        self.last_check_probes = probes
+        if descendant is not None:
+            raise error(f"{path!r} is a directory (contains {descendant!r})")
+
+    # -- content fingerprints ----------------------------------------------
+
+    def fingerprint(self, path: str) -> str:
+        """The blob oid of ``path``'s current bytes (computed lazily, cached)."""
+        oid = self._fingerprints.get(path)
+        if oid is None:
+            oid = object_id("blob", self._files[path])
+            self._fingerprints[path] = oid
+            self.hash_count += 1
+        return oid
+
+    def is_stored(self, path: str) -> bool:
+        """Whether ``path``'s fingerprinted blob is known to be in the store."""
+        return path in self._stored
+
+    def mark_stored(self, path: str, oid: str) -> None:
+        """Record that ``path``'s bytes hash to ``oid`` and the blob is stored."""
+        self._fingerprints[path] = oid
+        self._stored.add(path)
+
+    def forget_stored(self) -> None:
+        """Drop every known-stored flag (fingerprints stay).
+
+        Used when this state is adopted by a different repository: the
+        flags assert membership in the *previous* owner's object store.
+        """
+        self._stored.clear()
+
+    def prime(self, path: str, data: bytes, oid: str) -> None:
+        """Install ``path`` with a known, already-stored blob oid (checkout)."""
+        self[path] = data
+        self.mark_stored(path, oid)
+
+    def move_entry(self, old_path: str, new_path: str) -> None:
+        """Move a file, carrying its fingerprint (the bytes did not change)."""
+        self.move_entries({old_path: new_path})
+
+    def move_entries(self, moves: Mapping[str, str]) -> None:
+        """Move several files at once, carrying their fingerprints.
+
+        Two phases — capture + delete every source, then insert every
+        destination — so a destination that coincides with a *later* source
+        (a directory moved into itself, ``/a`` → ``/a/x``) never clobbers
+        bytes that are still waiting to move.
+        """
+        captured = [
+            (
+                new_path,
+                self._files[old_path],
+                self._fingerprints.get(old_path),
+                old_path in self._stored,
+            )
+            for old_path, new_path in moves.items()
+        ]
+        for old_path in moves:
+            del self[old_path]
+        for new_path, data, oid, stored in captured:
+            self[new_path] = data
+            if oid is not None:
+                self._fingerprints[new_path] = oid
+                if stored:
+                    self._stored.add(new_path)
+
+    def load_committed(self, entries: Iterable[tuple[str, bytes, str]]) -> None:
+        """Replace the content with ``(path, data, blob oid)`` triples whose
+        blobs are known stored — one pass, every fingerprint primed."""
+        self.clear()
+        for path, data, oid in entries:
+            self._files[path] = data
+            self._fingerprints[path] = oid
+        self._stored = set(self._files)
+        self._sorted_paths = sorted(self._files)
+        self._rebuild_directory_index()

@@ -2,9 +2,12 @@
 
 These tests pin the *mechanisms* behind the performance work — subtree-oid
 reuse in ``write_tree``, the bisect-backed object-id prefix index, the
-citation parse cache, and the range-scan citation index — via call counts and
-object identity, never wall-clock timing, so tier-1 fails deterministically
-when a hot path regresses to its old complexity.
+citation parse cache, the range-scan citation index, the indexed worktree's
+blob-fingerprint cache (``add`` puts exactly the dirty blobs) and path index
+(single writes never iterate the worktree), and the pack backend's bounded
+handle pool — via call counts and object identity, never wall-clock timing,
+so tier-1 fails deterministically when a hot path regresses to its old
+complexity.
 
 Run just these with ``pytest -m perf_smoke``.
 """
@@ -21,7 +24,9 @@ from repro.utils.timeutil import now_utc
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.objects import Blob, Tree
 from repro.vcs.repository import Repository
+from repro.vcs.storage.pack import PackBackend
 from repro.vcs.treeops import subtree_oid
+from repro.vcs.worktree_state import WorktreeState
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -141,6 +146,180 @@ class TestCitationParseCache:
         for _ in range(25):
             manager.cite("/src/a.py", ref)
         assert calls["n"] == 1
+
+
+class TestWorktreeFingerprintCache:
+    """``add``/``status`` hash only dirty blobs — commits are O(changed)."""
+
+    @staticmethod
+    def _counting_put(repo, calls):
+        original = repo.store.put
+
+        def wrapper(obj):
+            calls.append(obj)
+            return original(obj)
+
+        return wrapper
+
+    def test_add_after_touching_one_file_puts_exactly_one_blob(self):
+        repo = Repository.init("perf", "alice")
+        for i in range(60):
+            repo.write_file(f"/src/pkg{i % 6}/f{i}.txt", f"content {i}\n")
+        repo.commit("seed")
+
+        repo.write_file("/src/pkg3/f3.txt", "changed\n")
+        calls: list = []
+        repo.store.put = self._counting_put(repo, calls)
+        try:
+            staged = repo.add()
+        finally:
+            del repo.store.put
+        assert len(staged) == 60  # the index still mirrors the whole tree
+        assert len(calls) == 1  # ...but only the dirty blob was hashed+stored
+        assert isinstance(calls[0], Blob)
+
+    def test_add_on_clean_worktree_puts_nothing(self):
+        repo = Repository.init("perf", "alice")
+        for i in range(20):
+            repo.write_file(f"/d{i % 4}/f{i}.txt", f"{i}\n")
+        repo.commit("seed")
+        calls: list = []
+        repo.store.put = self._counting_put(repo, calls)
+        try:
+            repo.add()
+        finally:
+            del repo.store.put
+        assert calls == []
+
+    def test_status_on_clean_tree_hashes_nothing(self):
+        repo = Repository.init("perf", "alice")
+        for i in range(25):
+            repo.write_file(f"/a/b{i % 5}/f{i}.txt", f"{i}\n")
+        repo.commit("seed")
+        before = repo.worktree.hash_count
+        for _ in range(3):
+            assert repo.status().is_clean
+        assert repo.worktree.hash_count == before
+
+        # A checkout primes every fingerprint from the tree itself.
+        repo.write_file("/a/b0/f0.txt", "edited\n")
+        second = repo.commit("edit")
+        repo.checkout(second)
+        assert repo.status().is_clean
+        assert repo.worktree.hash_count == 0
+
+    def test_touch_one_commit_stores_only_the_dirty_chain(self):
+        repo = Repository.init("perf", "alice")
+        for d in range(6):
+            for i in range(4):
+                repo.write_file(f"/dir{d}/f{i}.txt", f"{d}.{i}\n")
+        repo.commit("seed")
+        repo.write_file("/dir2/f1.txt", "changed\n")
+        calls: list = []
+        repo.store.put = self._counting_put(repo, calls)
+        try:
+            repo.commit("touch one")
+        finally:
+            del repo.store.put
+        blobs = [obj for obj in calls if isinstance(obj, Blob)]
+        trees = [obj for obj in calls if isinstance(obj, Tree)]
+        assert len(blobs) == 1  # the edited file
+        assert len(trees) == 2  # '/dir2' and '/'
+
+
+class TestIndexedWorktreeWrites:
+    """Single-file writes probe the sorted index, never the whole worktree."""
+
+    def test_write_file_never_iterates_the_worktree(self, monkeypatch):
+        repo = Repository.init("perf", "alice")
+        for i in range(200):
+            repo.write_file(f"/src/m{i % 10}/f{i}.txt", b"x")
+
+        def exploding_iter(self):
+            raise AssertionError("write_file iterated the whole worktree")
+
+        monkeypatch.setattr(WorktreeState, "__iter__", exploding_iter)
+        assert repo.write_file("/src/m3/brand_new.txt", b"y") == "/src/m3/brand_new.txt"
+
+    def test_write_probes_are_bounded_by_depth_not_size(self):
+        small = Repository.init("perf", "alice")
+        for i in range(8):
+            small.write_file(f"/src/m{i}/f{i}.txt", b"x")
+        small.write_file("/src/m0/extra.txt", b"y")
+        small_probes = small.worktree.last_check_probes
+
+        large = Repository.init("perf", "alice")
+        for i in range(400):
+            large.write_file(f"/src/m{i % 10}/f{i}.txt", b"x")
+        large.write_file("/src/m0/extra.txt", b"y")
+        assert large.worktree.last_check_probes == small_probes  # depth-bound
+        assert large.worktree.last_check_probes <= 4  # 2 ancestors + root + bisect
+
+    def test_directory_queries_do_not_scan(self, monkeypatch):
+        repo = Repository.init("perf", "alice")
+        for i in range(100):
+            repo.write_file(f"/lib/sub{i % 5}/f{i}.txt", b"x")
+
+        def exploding_iter(self):
+            raise AssertionError("directory query iterated the whole worktree")
+
+        monkeypatch.setattr(WorktreeState, "__iter__", exploding_iter)
+        assert repo.directory_exists("/lib/sub3")
+        assert not repo.directory_exists("/lib/nope")
+        assert repo.list_files("/lib/sub3") == sorted(
+            f"/lib/sub3/f{i}.txt" for i in range(3, 100, 5)
+        )
+
+
+class TestPackHandlePoolAndMidx:
+    def test_open_handles_stay_bounded(self, tmp_path):
+        backend = PackBackend(tmp_path / "packs", handle_limit=3)
+        oids = []
+        for batch in range(6):  # 6 packs
+            for i in range(5):
+                payload = f"pack {batch} object {i}\n".encode()
+                from repro.utils.hashing import object_id
+
+                oid = object_id("blob", payload)
+                backend.write(oid, "blob", payload)
+                oids.append(oid)
+            backend.flush()
+        assert backend.stats()["packs"] == 6
+        for oid in oids:  # touch every pack
+            backend.read(oid)
+        assert backend.open_file_handles() <= 3
+        backend.close()
+        assert backend.open_file_handles() == 0
+
+    def test_cold_open_with_midx_reads_no_per_pack_index(self, tmp_path, monkeypatch):
+        from repro.utils.hashing import object_id
+        from repro.vcs.storage import pack as pack_module
+
+        backend = PackBackend(tmp_path / "packs")
+        oids = []
+        for batch in range(4):
+            for i in range(4):
+                payload = f"batch {batch} object {i} {'p' * 64}\n".encode()
+                oid = object_id("blob", payload)
+                backend.write(oid, "blob", payload)
+                oids.append(oid)
+            backend.flush()
+        backend.close()
+
+        loads = {"n": 0}
+        original = pack_module._PackFile._load_index
+
+        def counting_load(self):
+            loads["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(pack_module._PackFile, "_load_index", counting_load)
+        reopened = PackBackend(tmp_path / "packs")
+        assert reopened.stats()["packs"] == 4
+        for oid in oids:
+            assert reopened.read(oid)[1]
+        assert loads["n"] == 0  # the midx answered everything
+        reopened.close()
 
 
 class TestCitationFunctionRangeIndex:

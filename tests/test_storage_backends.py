@@ -324,6 +324,114 @@ class TestPackSpecifics:
         assert backend.stats()["packs"] == 1
 
 
+class TestMultiPackIndex:
+    """The midx (PR 3): one merged fanout across all packs, cache-recoverable."""
+
+    def _populate(self, root, batches=4, per_batch=5):
+        backend = PackBackend(root)
+        oids = []
+        for batch in range(batches):
+            for i in range(per_batch):
+                payload = f"batch {batch} object {i}\n".encode() * (i + 1)
+                oid = object_id("blob", payload)
+                backend.write(oid, "blob", payload)
+                oids.append(oid)
+            backend.flush()
+        backend.close()
+        return oids
+
+    def test_midx_written_on_flush_and_valid_on_reopen(self, tmp_path):
+        root = tmp_path / "midx"
+        oids = self._populate(root)
+        assert (root / "multi-pack-index.midx").is_file()
+        reopened = PackBackend(root)
+        assert reopened.stats()["packs"] == 4
+        assert reopened.stats()["midx"] is True
+        assert sorted(reopened.iter_oids()) == sorted(oids)
+        for oid in oids:
+            assert reopened.read(oid)[1]
+        reopened.close()
+
+    def test_corrupt_midx_is_rebuilt(self, tmp_path):
+        root = tmp_path / "corrupt"
+        oids = self._populate(root)
+        (root / "multi-pack-index.midx").write_bytes(b"garbage")
+        reopened = PackBackend(root)
+        for oid in oids:
+            assert reopened.read(oid)[1]
+        # The rebuild rewrote a valid midx file.
+        assert (root / "multi-pack-index.midx").read_bytes().startswith(b"RMIDX1\n")
+        reopened.close()
+
+    def test_stale_midx_detected_when_pack_set_changes(self, tmp_path):
+        root = tmp_path / "stale"
+        oids = self._populate(root)
+        # Simulate a pack added behind the midx's back (e.g. a crashed
+        # flush from another process): copy an existing pack pair.
+        new_payload = b"object that arrived behind the midx\n"
+        new_oid = object_id("blob", new_payload)
+        side = PackBackend(root / "side", use_midx=False)
+        side.write(new_oid, "blob", new_payload)
+        side.flush()
+        side.close()
+        for source in (root / "side").glob("pack-*"):
+            (root / source.name).write_bytes(source.read_bytes())
+        reopened = PackBackend(root)
+        assert reopened.read(new_oid) == ("blob", new_payload)
+        for oid in oids:
+            assert reopened.read(oid)[1]
+        reopened.close()
+
+    def test_repack_refreshes_the_midx(self, tmp_path):
+        root = tmp_path / "repackmidx"
+        oids = self._populate(root)
+        backend = PackBackend(root)
+        backend.repack()
+        assert backend.stats()["packs"] == 1
+        assert sorted(backend.iter_oids()) == sorted(oids)
+        backend.close()
+        reopened = PackBackend(root)  # midx must match the new single pack
+        assert reopened.stats()["midx"] is True
+        for oid in oids:
+            assert reopened.read(oid)[1]
+        reopened.close()
+
+    def test_without_midx_reads_still_work(self, tmp_path):
+        root = tmp_path / "nomidx"
+        oids = self._populate(root)
+        backend = PackBackend(root, use_midx=False)
+        assert backend.stats()["midx"] is False
+        assert sorted(backend.iter_oids()) == sorted(oids)
+        for oid in oids:
+            assert backend.read(oid)[1]
+        backend.close()
+
+    def test_deltas_resolve_through_the_midx(self, tmp_path):
+        backend = PackBackend(tmp_path / "deltamidx")
+        store = ObjectStore(backend)
+        base_text = ("y = %d\n" * 300) % tuple(range(300))
+        revisions = [Blob((base_text + f"# rev {i}\n").encode()) for i in range(5)]
+        store.put_many(revisions)
+        store.flush()
+        assert b"delta blob " in next(backend.root.glob("*.pack")).read_bytes()
+        reopened = ObjectStore(PackBackend(tmp_path / "deltamidx"))
+        for blob in revisions:
+            assert reopened.get(blob.oid) == blob
+
+    def test_handle_pool_eviction_keeps_reads_correct(self, tmp_path):
+        root = tmp_path / "pool"
+        oids = self._populate(root, batches=6, per_batch=4)
+        backend = PackBackend(root, handle_limit=2)
+        # Interleave reads across all six packs repeatedly: the pool must
+        # evict and reopen handles without ever corrupting a read.
+        for _ in range(3):
+            for oid in oids:
+                type_name, payload = backend.read(oid)
+                assert object_id(type_name, payload) == oid
+        assert backend.open_file_handles() <= 2
+        backend.close()
+
+
 class TestPrefixIndexInvalidation:
     """Regression: the sorted oid index must track *backend* writes, not puts."""
 

@@ -1,0 +1,473 @@
+"""The indexed worktree is behaviour-identical to a plain-dict model.
+
+PR 3 replaced ``Repository``'s raw worktree dict with the indexed
+:class:`~repro.vcs.worktree_state.WorktreeState` and rewrote every
+working-tree operation against its sorted-path/directory/fingerprint
+indexes.  These tests pin that the rewrite changed *complexity only*:
+
+* a hypothesis property drives random operation sequences (write, batch
+  write, remove, move, list, add, commit, status) against a real
+  :class:`Repository` and an independent plain-dict reference model that
+  re-implements the documented semantics with naive O(n) scans and fresh
+  hashing — results, raised error types, staging/commit outputs and the
+  final state must agree operation for operation;
+* deterministic unit tests cover the mapping contract of ``WorktreeState``
+  and the atomicity fixes (``move_directory`` validating the full
+  destination set before mutating; a directory moved into itself).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VCSError
+from repro.utils.hashing import object_id
+from repro.utils.paths import ROOT, ancestors, is_ancestor, join_path, normalize_path, relative_to
+from repro.vcs.objects import MODE_FILE
+from repro.vcs.repository import Repository
+from repro.vcs.treeops import build_tree
+from repro.vcs.worktree_state import WorktreeState
+
+
+# ---------------------------------------------------------------------------
+# The plain-dict reference model (naive scans, fresh hashes, no indexes)
+# ---------------------------------------------------------------------------
+
+
+class PlainDictModel:
+    """Reference semantics for the working tree, staging and committing.
+
+    Deliberately uses a raw dict plus full scans everywhere, and re-hashes
+    every blob on demand — the behaviour the indexed implementation must
+    reproduce exactly (minus the complexity).
+    """
+
+    def __init__(self) -> None:
+        self.files: dict[str, bytes] = {}
+        self.index: dict[str, str] = {}
+        self.head_entries: dict[str, str] | None = None
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _payload(data: bytes | str) -> bytes:
+        return data.encode("utf-8") if isinstance(data, str) else bytes(data)
+
+    def _check_write(self, canonical: str) -> None:
+        for existing in self.files:
+            if is_ancestor(canonical, existing):
+                raise VCSError("directory conflict")
+            if is_ancestor(existing, canonical):
+                raise VCSError("file conflict")
+
+    # -- working-tree operations ------------------------------------------
+
+    def write_file(self, path: str, data: bytes | str) -> str:
+        canonical = normalize_path(path)
+        if canonical == ROOT:
+            raise VCSError("root write")
+        self._check_write(canonical)
+        self.files[canonical] = self._payload(data)
+        return canonical
+
+    def write_files(self, files: dict[str, bytes | str]) -> list[str]:
+        incoming: dict[str, bytes] = {}
+        for path, data in files.items():
+            canonical = normalize_path(path)
+            if canonical == ROOT:
+                raise VCSError("root write")
+            incoming[canonical] = self._payload(data)
+        union = set(self.files) | set(incoming)
+        for canonical in incoming:
+            for ancestor in ancestors(canonical):
+                if ancestor != ROOT and ancestor in union:
+                    raise VCSError("file conflict")
+            if any(is_ancestor(canonical, other) for other in union):
+                raise VCSError("directory conflict")
+        self.files.update(incoming)
+        return sorted(incoming)
+
+    def remove_file(self, path: str) -> None:
+        canonical = normalize_path(path)
+        if canonical not in self.files:
+            raise VCSError("no such file")
+        del self.files[canonical]
+        self.index.pop(canonical, None)
+
+    def remove_directory(self, path: str) -> list[str]:
+        canonical = normalize_path(path)
+        victims = [p for p in self.files if is_ancestor(canonical, p) or p == canonical]
+        if not victims:
+            raise VCSError("no such directory")
+        for victim in victims:
+            del self.files[victim]
+            self.index.pop(victim, None)
+        return sorted(victims)
+
+    def move_file(self, source: str, destination: str) -> None:
+        src = normalize_path(source)
+        if src not in self.files:
+            raise VCSError("no such file")
+        dst = normalize_path(destination)
+        if dst == ROOT:
+            raise VCSError("root write")
+        if dst != src:
+            for ancestor in ancestors(dst):
+                if ancestor != ROOT and ancestor != src and ancestor in self.files:
+                    raise VCSError("file conflict")
+            if any(
+                is_ancestor(dst, p) and not is_ancestor(src, p, strict=False)
+                for p in self.files
+            ):
+                raise VCSError("directory conflict")
+            self.files[dst] = self.files.pop(src)
+        self.index.pop(src, None)
+
+    def move_directory(self, source: str, destination: str) -> dict[str, str]:
+        src = normalize_path(source)
+        dst = normalize_path(destination)
+        victims = sorted(p for p in self.files if is_ancestor(src, p))
+        if not victims:
+            raise VCSError("no such directory")
+        moves = {old: join_path(dst, relative_to(old, src)) for old in victims}
+        if dst == src:
+            for old in victims:
+                self.index.pop(old, None)
+            return moves
+        destination_set = set(moves.values())
+        for new_path in moves.values():
+            for ancestor in ancestors(new_path):
+                if ancestor == ROOT or ancestor in destination_set:
+                    continue
+                if ancestor in self.files and not is_ancestor(src, ancestor):
+                    raise VCSError("file conflict")
+            if any(
+                is_ancestor(new_path, p)
+                and not is_ancestor(src, p, strict=False)
+                and p not in destination_set
+                for p in self.files
+            ):
+                raise VCSError("directory conflict")
+        contents = {old: self.files[old] for old in victims}
+        for old in victims:
+            del self.files[old]
+            self.index.pop(old, None)
+        for old, new_path in moves.items():
+            self.files[new_path] = contents[old]
+        return moves
+
+    # -- queries -----------------------------------------------------------
+
+    def list_files(self, under: str = ROOT) -> list[str]:
+        base = normalize_path(under)
+        if base == ROOT:
+            return sorted(self.files)
+        return sorted(p for p in self.files if p == base or is_ancestor(base, p))
+
+    def list_directories(self, under: str = ROOT) -> list[str]:
+        base = normalize_path(under)
+        directories: set[str] = {ROOT}
+        for path in self.files:
+            parts = path[1:].split("/")
+            for cut in range(1, len(parts)):
+                directories.add("/" + "/".join(parts[:cut]))
+        if base == ROOT:
+            return sorted(directories)
+        return sorted(d for d in directories if d == base or is_ancestor(base, d))
+
+    def directory_exists(self, path: str) -> bool:
+        canonical = normalize_path(path)
+        if canonical == ROOT:
+            return True
+        return any(is_ancestor(canonical, existing) for existing in self.files)
+
+    # -- staging and committing -------------------------------------------
+
+    @staticmethod
+    def _blob_oid(data: bytes) -> str:
+        return object_id("blob", data)
+
+    def add(self, paths: list[str] | None = None) -> list[str]:
+        if paths is None:
+            targets = sorted(self.files)
+            self.index = {p: self._blob_oid(self.files[p]) for p in targets}
+            return targets
+        targets: list[str] = []
+        for path in paths:
+            canonical = normalize_path(path)
+            if canonical in self.files:
+                targets.append(canonical)
+            elif self.directory_exists(canonical):
+                targets.extend(p for p in sorted(self.files) if is_ancestor(canonical, p))
+            else:
+                self.index.pop(canonical, None)
+        for path in targets:
+            self.index[path] = self._blob_oid(self.files[path])
+        return targets
+
+    def commit_entries(self) -> dict[str, str]:
+        """The entries a ``commit()`` (auto_add) would snapshot; raises the
+        nothing-to-commit error exactly when the repository does."""
+        self.add()
+        if self.head_entries is not None and self.index == self.head_entries:
+            raise VCSError("nothing to commit")
+        self.head_entries = dict(self.index)
+        return dict(self.index)
+
+    def status(self) -> dict[str, tuple[str, ...]]:
+        head = self.head_entries or {}
+        staged = [p for p, oid in self.index.items() if head.get(p) != oid]
+        tracked = set(head) | set(self.index)
+        modified, untracked = [], []
+        for path, data in self.files.items():
+            if path not in tracked:
+                untracked.append(path)
+                continue
+            reference = self.index.get(path) or head.get(path)
+            if reference is None:
+                untracked.append(path)
+            elif self._blob_oid(data) != reference:
+                modified.append(path)
+        deleted = [p for p in tracked if p not in self.files]
+        return {
+            "staged": tuple(sorted(staged)),
+            "modified": tuple(sorted(modified)),
+            "deleted": tuple(sorted(deleted)),
+            "untracked": tuple(sorted(untracked)),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Operation strategies
+# ---------------------------------------------------------------------------
+
+_COMPONENTS = st.sampled_from(["a", "b", "ab", "c1"])
+_PATHS = st.lists(_COMPONENTS, min_size=1, max_size=3).map(lambda parts: "/" + "/".join(parts))
+_DATA = st.binary(max_size=6)
+
+_OPERATIONS = st.one_of(
+    st.tuples(st.just("write"), _PATHS, _DATA),
+    st.tuples(
+        st.just("write_files"),
+        st.dictionaries(_PATHS, _DATA, max_size=4),
+    ),
+    st.tuples(st.just("remove_file"), _PATHS),
+    st.tuples(st.just("remove_directory"), _PATHS),
+    st.tuples(st.just("move_file"), _PATHS, _PATHS),
+    st.tuples(st.just("move_directory"), _PATHS, _PATHS),
+    st.tuples(st.just("add_all")),
+    st.tuples(st.just("add_paths"), st.lists(_PATHS, max_size=2)),
+    st.tuples(st.just("commit")),
+    st.tuples(st.just("status")),
+    st.tuples(st.just("list"), _PATHS),
+)
+
+
+def _apply(target, operation):
+    """Run one operation; returns ``("ok", result)`` or ``("err", type)``."""
+    try:
+        kind = operation[0]
+        if kind == "write":
+            return "ok", target.write_file(operation[1], operation[2])
+        if kind == "write_files":
+            return "ok", target.write_files(operation[1])
+        if kind == "remove_file":
+            return "ok", target.remove_file(operation[1])
+        if kind == "remove_directory":
+            return "ok", target.remove_directory(operation[1])
+        if kind == "move_file":
+            return "ok", target.move_file(operation[1], operation[2])
+        if kind == "move_directory":
+            return "ok", target.move_directory(operation[1], operation[2])
+        if kind == "add_all":
+            return "ok", target.add()
+        if kind == "add_paths":
+            return "ok", target.add(operation[1])
+        if kind == "list":
+            return "ok", (target.list_files(operation[1]), target.list_directories(operation[1]))
+        raise AssertionError(f"unhandled operation {kind!r}")
+    except VCSError:
+        return "err", VCSError
+
+
+class TestIndexedWorktreeMatchesPlainDictModel:
+    @settings(max_examples=120, deadline=None)
+    @given(operations=st.lists(_OPERATIONS, max_size=35))
+    def test_random_operation_sequences(self, operations):
+        repo = Repository.init("prop", "alice")
+        model = PlainDictModel()
+        for operation in operations:
+            kind = operation[0]
+            if kind == "commit":
+                expected_error = None
+                try:
+                    entries = model.commit_entries()
+                except VCSError:
+                    expected_error = VCSError
+                if expected_error:
+                    with pytest.raises(VCSError):
+                        repo.commit("step")
+                else:
+                    commit_oid = repo.commit("step")
+                    actual_tree = repo.store.get_commit(commit_oid).tree_oid
+                    expected_tree = build_tree(
+                        repo.store, {p: (oid, MODE_FILE) for p, oid in entries.items()}
+                    )
+                    assert actual_tree == expected_tree
+                continue
+            if kind == "status":
+                actual = repo.status()
+                expected = model.status()
+                assert actual.staged == expected["staged"]
+                assert actual.modified == expected["modified"]
+                assert actual.deleted == expected["deleted"]
+                assert actual.untracked == expected["untracked"]
+                continue
+            actual = _apply(repo, operation)
+            expected = _apply(model, operation)
+            assert actual == expected, f"diverged on {operation!r}"
+            # The mapping itself must agree after every mutation.
+            assert dict(repo.worktree) == model.files
+
+        # Final state: content, file/directory views, staging, status.
+        assert dict(repo.worktree) == model.files
+        assert repo.list_files() == model.list_files()
+        assert repo.list_directories() == model.list_directories()
+        assert {p: e[0] for p, e in repo.index.entries().items()} == model.index
+        actual = repo.status()
+        expected = model.status()
+        assert (actual.staged, actual.modified, actual.deleted, actual.untracked) == (
+            expected["staged"],
+            expected["modified"],
+            expected["deleted"],
+            expected["untracked"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic regressions
+# ---------------------------------------------------------------------------
+
+
+class TestMoveDirectoryAtomicity:
+    def test_conflicting_move_leaves_worktree_untouched(self):
+        repo = Repository.init("atomic", "alice")
+        repo.write_file("/src/a.txt", b"a")
+        repo.write_file("/src/sub/b.txt", b"b")
+        # '/dst/sub' exists as a *file*: the second destination
+        # '/dst/sub/b.txt' is invalid, so nothing at all may move.
+        repo.write_file("/dst/sub", b"blocking file")
+        before = dict(repo.worktree)
+        with pytest.raises(VCSError):
+            repo.move_directory("/src", "/dst")
+        assert dict(repo.worktree) == before
+        assert repo.list_files("/src") == ["/src/a.txt", "/src/sub/b.txt"]
+
+    def test_conflicting_move_file_leaves_worktree_untouched(self):
+        repo = Repository.init("atomic", "alice")
+        repo.write_file("/a.txt", b"a")
+        repo.write_file("/dir/inner.txt", b"i")
+        before = dict(repo.worktree)
+        with pytest.raises(VCSError):
+            repo.move_file("/a.txt", "/dir")  # '/dir' has a descendant file
+        assert dict(repo.worktree) == before
+
+    def test_directory_moved_into_itself_keeps_every_payload(self):
+        repo = Repository.init("atomic", "alice")
+        repo.write_file("/a/f", b"outer")
+        repo.write_file("/a/x/f", b"inner")
+        moves = repo.move_directory("/a", "/a/x")
+        assert moves == {"/a/f": "/a/x/f", "/a/x/f": "/a/x/x/f"}
+        assert repo.read_file("/a/x/f") == b"outer"
+        assert repo.read_file("/a/x/x/f") == b"inner"
+
+    def test_move_then_commit_reuses_fingerprints(self):
+        repo = Repository.init("atomic", "alice")
+        for i in range(10):
+            repo.write_file(f"/old/f{i}.txt", f"{i}\n")
+        repo.commit("seed")
+        repo.move_directory("/old", "/new")
+        calls: list = []
+        original = repo.store.put
+
+        def counting_put(obj):
+            calls.append(obj)
+            return original(obj)
+
+        repo.store.put = counting_put
+        try:
+            repo.commit("moved")
+        finally:
+            del repo.store.put
+        from repro.vcs.objects import Blob
+
+        # The bytes did not change: the move carried every blob fingerprint,
+        # so the commit hashed no blobs at all.
+        assert not any(isinstance(obj, Blob) for obj in calls)
+
+
+class TestCrossRepositoryAdoption:
+    def test_adopted_worktree_forgets_stored_flags(self):
+        """Stored flags assert membership in the *previous* owner's store;
+        carrying them across repositories would commit dangling blob oids."""
+        origin = Repository.init("origin", "alice")
+        origin.write_file("/f.txt", b"payload")
+        origin.commit("seed")
+
+        other = Repository.init("other", "bob")
+        other.worktree = origin.worktree  # adopt the indexed state wholesale
+        other.add()
+        commit_oid = other.commit("adopted")
+        tree_oid = other.store.get_commit(commit_oid).tree_oid
+        # Every referenced blob must actually live in the adopting store.
+        from repro.vcs.treeops import flatten_files
+
+        for path, (oid, _) in flatten_files(other.store, tree_oid).items():
+            assert other.store.get_blob(oid).data == other.worktree[path]
+
+
+class TestWorktreeStateMapping:
+    def test_behaves_like_a_dict(self):
+        state = WorktreeState({"/b": b"2", "/a": b"1"})
+        assert state == {"/a": b"1", "/b": b"2"}
+        assert {"/a": b"1", "/b": b"2"} == state
+        assert list(state) == ["/a", "/b"]  # sorted iteration
+        assert len(state) == 2 and "/a" in state and "/c" not in state
+        state["/c/d"] = b"3"
+        assert state.pop("/a") == b"1"
+        assert state.get("/a") is None
+        assert dict(state.items()) == {"/b": b"2", "/c/d": b"3"}
+        state.update({"/b": b"2b"})
+        assert state["/b"] == b"2b"
+        del state["/b"]
+        state.clear()
+        assert state == {} and list(state) == []
+
+    def test_indexes_follow_mutation(self):
+        state = WorktreeState()
+        state["/a/b/one.txt"] = b"1"
+        state["/a/two.txt"] = b"2"
+        assert state.has_directory("/a") and state.has_directory("/a/b")
+        assert state.directories() == ["/", "/a", "/a/b"]
+        assert state.files_under("/a") == ["/a/b/one.txt", "/a/two.txt"]
+        del state["/a/b/one.txt"]
+        assert not state.has_directory("/a/b")
+        assert state.directories() == ["/", "/a"]
+
+    def test_fingerprints_invalidate_on_every_mutation_path(self):
+        state = WorktreeState()
+        state["/f"] = b"one"
+        oid_one = state.fingerprint("/f")
+        assert oid_one == object_id("blob", b"one")
+        state.mark_stored("/f", oid_one)
+        state["/f"] = b"two"
+        assert not state.is_stored("/f")
+        assert state.fingerprint("/f") == object_id("blob", b"two")
+        state.bulk_update({"/f": b"three", **{f"/bulk/{i}": b"x" for i in range(10)}})
+        assert state.fingerprint("/f") == object_id("blob", b"three")
+        state.mark_stored("/f", state.fingerprint("/f"))
+        state.move_entry("/f", "/g")
+        assert state.is_stored("/g")
+        assert state.fingerprint("/g") == object_id("blob", b"three")
