@@ -627,6 +627,112 @@ def bench_multipack_cold_open(
     }
 
 
+def bench_checkout_switch(num_files: int = 5000, num_changed: int = 25, switches: int = 6) -> dict:
+    """Branch switching on a 5k-file tree: eager blob loads vs the lazy view.
+
+    The seed's ``_load_worktree`` called ``get_blob`` for every file of the
+    target commit on each checkout; the lazy worktree installs oid-backed
+    entries and reads a blob only when its path is first accessed.  Both
+    sides perform ``switches`` checkouts between two versions differing in
+    ``num_changed`` files and then read exactly the changed files — the
+    realistic post-switch working set.  Blob reads are counted on both
+    sides; full materialisation at the end must be byte-identical.
+    """
+    stamp = _STORAGE_STAMP
+    signature = Signature(name="alice", email="alice@example.org", timestamp=stamp)
+    body = "".join(f"value_{i} = {i}\n" for i in range(40))
+
+    source = Repository.init("bench", "alice")
+    source.write_files(
+        {f"/src/pkg{i % 40}/module_{i}.py": f"# module {i}\n{body}" for i in range(num_files)}
+    )
+    base_oid = source.commit("base", author=signature)
+    changed_paths = [
+        f"/src/pkg{(i * 7) % 40}/module_{i * 7 % num_files}.py" for i in range(num_changed)
+    ]
+    source.write_files({path: f"# edited\n{body}" for path in changed_paths})
+    tip_oid = source.commit("tip", author=signature)
+    targets = (base_oid, tip_oid)
+
+    def count_blob_reads(repo, counter):
+        original_get_blob = repo.store.get_blob
+        original_get_blobs = repo.store.get_blobs
+
+        def counting_get_blob(oid):
+            counter["n"] += 1
+            return original_get_blob(oid)
+
+        def counting_get_blobs(oids):
+            blobs = original_get_blobs(oids)
+            counter["n"] += len(blobs)
+            return blobs
+
+        repo.store.get_blob = counting_get_blob
+        repo.store.get_blobs = counting_get_blobs
+
+    from repro.vcs.treeops import flatten_files
+    from repro.vcs.worktree_state import WorktreeState
+
+    def eager_load(repo, commit_oid):
+        # The seed's checkout load path: materialise every blob of the tree.
+        repo.refs.detach_head(commit_oid)
+        commit = repo.store.get_commit(commit_oid)
+        files = flatten_files(repo.store, commit.tree_oid)
+        state = WorktreeState()
+        state.load_committed(
+            (path, repo.store.get_blob(oid).data, oid) for path, (oid, _) in files.items()
+        )
+        repo._worktree = state
+        repo.index.read_tree(repo.store, commit.tree_oid)
+        repo._notify_worktree_reload()
+
+    baseline = clone_repository(source)
+    baseline_reads = {"n": 0}
+    count_blob_reads(baseline, baseline_reads)
+
+    def run_baseline():
+        for i in range(switches):
+            eager_load(baseline, targets[i % 2])
+            for path in changed_paths:
+                baseline.read_file(path)
+
+    baseline_s = _timed(run_baseline)
+
+    optimized = clone_repository(source)
+    optimized_reads = {"n": 0}
+    count_blob_reads(optimized, optimized_reads)
+
+    def run_optimized():
+        for i in range(switches):
+            optimized.checkout(targets[i % 2])
+            for path in changed_paths:
+                optimized.read_file(path)
+
+    optimized_s = _timed(run_optimized)
+    # Snapshot the read counters before the identity check below: the full
+    # materialisation it performs is verification, not part of the workload.
+    baseline_read_count = baseline_reads["n"]
+    optimized_read_count = optimized_reads["n"]
+
+    # Identity: fully materialising the lazy view yields the eager bytes.
+    identical = (
+        dict(optimized.worktree.items()) == dict(baseline.worktree)
+        and optimized.head_oid() == baseline.head_oid()
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "baseline_blob_reads": baseline_read_count,
+        "optimized_blob_reads": optimized_read_count,
+        "blob_read_ratio": optimized_read_count / baseline_read_count,
+        "files": num_files,
+        "changed": num_changed,
+        "switches": switches,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -639,6 +745,7 @@ SCENARIOS = {
     "commit_touch_one_of_5k": bench_commit_touch_one,
     "single_write_file_scaling": bench_single_write_file,
     "multipack_cold_open": bench_multipack_cold_open,
+    "checkout_5k_switch": bench_checkout_switch,
 }
 
 

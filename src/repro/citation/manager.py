@@ -49,6 +49,7 @@ from repro.vcs.objects import Signature
 from repro.vcs.remote import fork_repository
 from repro.vcs.repository import Repository
 from repro.vcs.treeops import lookup_path
+from repro.vcs.worktree_state import WorktreeState
 
 __all__ = ["CitationManager", "MergeCiteOutcome", "CopyCiteOutcome"]
 
@@ -185,9 +186,21 @@ class CitationManager:
                     f"repository {self.repo.full_name} has no {CITATION_FILE_NAME}; "
                     "run init_citations() (or the retrofit tool) first"
                 )
-            self._install_function(
-                load_citation_bytes(self.repo.read_file(CITATION_FILE_PATH))
-            )
+            worktree = self.repo.worktree
+            if isinstance(worktree, WorktreeState) and worktree.is_stored(CITATION_FILE_PATH):
+                # Clean checkout-primed file: parse through the blob-oid
+                # cache instead of materialising the working-tree bytes — a
+                # lazily checked-out citation.cite stays unread, and
+                # switching back to an already-parsed version costs a copy,
+                # not a parse.
+                blob_oid = worktree.fingerprint(CITATION_FILE_PATH)
+                self._install_function(
+                    self._parse_cached(blob_oid, self.repo.store).copy()
+                )
+            else:
+                self._install_function(
+                    load_citation_bytes(self.repo.read_file(CITATION_FILE_PATH))
+                )
         return self._function
 
     def _install_function(self, function: CitationFunction) -> CitationFunction:

@@ -25,11 +25,19 @@ Routes implemented::
 from __future__ import annotations
 
 import base64
+import binascii
 from dataclasses import dataclass, field
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import HubError, NotFoundError, ValidationError
+from repro.errors import (
+    HubError,
+    InvalidObjectError,
+    NotFoundError,
+    ObjectNotFoundError,
+    StorageError,
+    ValidationError,
+)
 from repro.hub.models import Permission
 from repro.hub.server import HostingPlatform
 
@@ -84,6 +92,11 @@ class RestApi:
             return ApiResponse(status=status, json=body)
         except HubError as exc:
             return ApiResponse(status=exc.status_code, json={"message": str(exc)})
+        except (StorageError, ObjectNotFoundError, InvalidObjectError) as exc:
+            # The platform layer deliberately lets storage corruption
+            # propagate instead of masking it as a 404; at the REST boundary
+            # that is a server-side failure, not a client error.
+            return ApiResponse(status=500, json={"message": f"internal storage error: {exc}"})
 
     # Convenience verbs ---------------------------------------------------
 
@@ -230,8 +243,17 @@ class RestApi:
         if "content" not in payload or "message" not in payload:
             raise ValidationError("PUT contents requires 'message' and base64 'content' fields")
         try:
-            content = base64.b64decode(payload["content"])
-        except Exception as exc:
+            # validate=True: without it b64decode silently discards any
+            # non-alphabet characters, so a corrupted payload would commit
+            # garbage bytes instead of being rejected with a 422.  MIME-style
+            # line wrapping (RFC 2045 encoders insert newlines every 76
+            # chars; GitHub accepts it) is legitimate, so whitespace is
+            # stripped before validating.
+            encoded = payload["content"]
+            if isinstance(encoded, str):
+                encoded = "".join(encoded.split())
+            content = base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError, TypeError) as exc:
             raise ValidationError(f"content is not valid base64: {exc}") from exc
         commit_oid = self.platform.put_file(
             slug,

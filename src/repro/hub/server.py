@@ -15,9 +15,13 @@ from typing import Optional
 
 from repro.errors import (
     AuthenticationError,
+    InvalidObjectError,
     NotFoundError,
+    ObjectNotFoundError,
     PermissionDeniedError,
+    StorageError,
     ValidationError,
+    VCSError,
 )
 from repro.hub.auth import TokenAuthority
 from repro.hub.models import AccessToken, HostedRepository, Permission, User
@@ -194,7 +198,14 @@ class HostingPlatform:
         resolved_ref = ref or hosted.default_branch
         try:
             return repo.read_file_at(resolved_ref, path)
-        except Exception as exc:
+        except (StorageError, ObjectNotFoundError, InvalidObjectError):
+            # Storage corruption (a blob that fails its integrity re-hash, a
+            # dangling tree entry) is a server-side failure: it must surface,
+            # not masquerade as a missing file.
+            raise
+        except VCSError as exc:
+            # Ref/path resolution only: unknown ref, no such file, path is a
+            # directory — the legitimate 404s.
             raise NotFoundError(f"{slug}@{resolved_ref} has no file {path!r}") from exc
 
     def path_exists(self, slug: str, path: str, ref: Optional[str] = None,
@@ -203,7 +214,9 @@ class HostingPlatform:
         resolved_ref = ref or hosted.default_branch
         try:
             return hosted.repo.path_exists_at(resolved_ref, path)
-        except Exception:
+        except (StorageError, ObjectNotFoundError, InvalidObjectError):
+            raise  # corruption is not "the path does not exist"
+        except VCSError:
             return False
 
     def list_tree(self, slug: str, ref: Optional[str] = None, token: Optional[str] = None) -> list[dict]:

@@ -139,6 +139,21 @@ class StagingIndex:
     def paths(self) -> list[str]:
         return list(self._sorted_paths)
 
+    def paths_under(self, base: str) -> list[str]:
+        """The staged paths at or beneath canonical ``base`` (range probe).
+
+        Lets ``Repository.add(["dir"])`` find tracked entries whose files
+        vanished from the working tree without scanning the whole index.
+        """
+        canonical = normalize_path(base)
+        if canonical == ROOT:
+            return list(self._sorted_paths)
+        lower, upper = descendant_slice(self._sorted_paths, canonical)
+        selected = self._sorted_paths[lower:upper]
+        if canonical in self._entries:
+            selected.insert(0, canonical)
+        return selected
+
     @property
     def is_empty(self) -> bool:
         return not self._entries
@@ -207,7 +222,17 @@ class StagingIndex:
         The tree's own subtree oids prime the write cache, so the first
         commit after a checkout only rebuilds what actually changed.
         """
-        flat = flatten_tree(store, tree_oid)
+        self.read_flat(store, flatten_tree(store, tree_oid))
+
+    def read_flat(self, store: ObjectStore, flat: Mapping[str, tuple[str, str]]) -> None:
+        """:meth:`read_tree` from an already-flattened tree map.
+
+        Callers that flatten the tree for their own purposes (the lazy
+        checkout primes the worktree from the same walk) share it instead of
+        walking the tree twice.  ``flat`` must be a full
+        :func:`~repro.vcs.treeops.flatten_tree` result for a tree stored in
+        ``store`` — directory entries prime the write cache.
+        """
         self.replace(
             {path: value for path, value in flat.items() if value[1] != MODE_DIRECTORY},
             assume_canonical=True,

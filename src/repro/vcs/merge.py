@@ -233,6 +233,10 @@ class MergeResult:
     files: dict[str, bytes] = field(default_factory=dict)
     conflicts: list[str] = field(default_factory=list)
     deleted_paths: list[str] = field(default_factory=list)
+    #: Paths whose merged bytes were taken verbatim from an existing blob,
+    #: mapped to that blob's oid.  Lets callers prime worktree fingerprints
+    #: (no re-hash/re-store of unchanged content) after installing the merge.
+    taken_oids: dict[str, str] = field(default_factory=dict)
 
     @property
     def has_conflicts(self) -> bool:
@@ -259,6 +263,9 @@ def merge_trees(
 
     result = MergeResult()
     all_paths = sorted(set(base_files) | set(ours_files) | set(theirs_files))
+    #: Paths resolved verbatim to an existing blob; their bytes are fetched
+    #: in one batched read at the end instead of one ``get_blob`` per path.
+    taken: dict[str, str] = {}
 
     for path in all_paths:
         base_oid = base_files.get(path, (None, None))[0]
@@ -276,26 +283,35 @@ def merge_trees(
 
         if in_ours and not in_theirs:
             if not in_base:
-                result.files[path] = store.get_blob(ours_oid).data
+                taken[path] = ours_oid
             elif base_oid == ours_oid:
                 result.deleted_paths.append(path)  # theirs deleted, ours untouched
             else:
-                result.files[path] = store.get_blob(ours_oid).data  # modify/delete conflict
+                taken[path] = ours_oid  # modify/delete conflict
                 result.conflicts.append(path)
             continue
 
         if in_theirs and not in_ours:
             if not in_base:
-                result.files[path] = store.get_blob(theirs_oid).data
+                taken[path] = theirs_oid
             elif base_oid == theirs_oid:
                 result.deleted_paths.append(path)  # ours deleted, theirs untouched
             else:
-                result.files[path] = store.get_blob(theirs_oid).data  # delete/modify conflict
+                taken[path] = theirs_oid  # delete/modify conflict
                 result.conflicts.append(path)
             continue
 
-        # Present on both sides.
-        if not in_base and ours_oid != theirs_oid:
+        # Present on both sides: the trivial resolutions pick a whole blob.
+        if ours_oid == theirs_oid:
+            taken[path] = ours_oid
+            continue
+        if in_base and base_oid == ours_oid:
+            taken[path] = theirs_oid  # only theirs changed
+            continue
+        if in_base and base_oid == theirs_oid:
+            taken[path] = ours_oid  # only ours changed
+            continue
+        if not in_base:
             blob_result = merge_blobs(store, None, ours_oid, theirs_oid)
             result.files[path] = blob_result.data
             result.conflicts.append(path)
@@ -306,6 +322,11 @@ def merge_trees(
         if blob_result.has_conflict:
             result.conflicts.append(path)
 
+    if taken:
+        blobs = store.get_blobs(taken.values())
+        for path, oid in taken.items():
+            result.files[path] = blobs[oid].data
+    result.taken_oids = taken
     result.conflicts.sort()
     result.deleted_paths.sort()
     return result

@@ -114,6 +114,61 @@ class ObjectStore:
     def get_blob(self, oid: str) -> Blob:
         return self._typed(oid, Blob)
 
+    def get_blobs(self, oids: Iterable[str]) -> dict[str, Blob]:
+        """Return ``{oid: Blob}`` for every requested oid in one batched read.
+
+        Cache hits are served directly; the misses go through the backend's
+        :meth:`~repro.vcs.storage.ObjectBackend.read_many`, which pack-style
+        layouts serve grouped per pack in offset order — the lazy worktree's
+        whole-tree materialisation path.
+        """
+        result: dict[str, Blob] = {}
+        requested: set[str] = set()
+        missing: list[str] = []
+        for oid in oids:
+            # Deduplicate up front: identical-content files share an oid and
+            # must cost one backend read, not one per occurrence.
+            if oid in requested:
+                continue
+            requested.add(oid)
+            cached = self._cache.get(oid)
+            if cached is not None:
+                self._cache.move_to_end(oid)
+                if not isinstance(cached, Blob):
+                    raise InvalidObjectError(
+                        f"object {oid} has type {cached.type_name}, expected blob"
+                    )
+                result[oid] = cached
+            else:
+                missing.append(oid)
+        if missing:
+            try:
+                for oid, object_type, payload in self._backend.read_many(missing):
+                    obj = deserialize_object(object_type, payload)
+                    if not isinstance(obj, Blob):
+                        raise InvalidObjectError(
+                            f"object {oid} has type {obj.type_name}, expected blob"
+                        )
+                    self._cache_insert(oid, obj)
+                    result[oid] = obj
+            except KeyError as exc:
+                raise ObjectNotFoundError(exc.args[0]) from None
+        return result
+
+    def blob_size(self, oid: str) -> int:
+        """Byte length of a stored blob without necessarily reading it.
+
+        Cached objects answer from memory; otherwise the backend's size
+        probe runs (header-only for loose files, record-level for packs).
+        """
+        cached = self._cache.get(oid)
+        if isinstance(cached, Blob):
+            return len(cached.data)
+        try:
+            return self._backend.read_size(oid)
+        except KeyError:
+            raise ObjectNotFoundError(oid) from None
+
     def get_tree(self, oid: str) -> Tree:
         return self._typed(oid, Tree)
 

@@ -34,7 +34,7 @@ from repro.vcs.object_store import ObjectStore
 from repro.vcs.storage import BackendSpec
 from repro.vcs.objects import MODE_DIRECTORY, MODE_FILE, Blob, Commit, Signature, Tag
 from repro.vcs.refs import DEFAULT_BRANCH, RefStore
-from repro.vcs.treeops import flatten_files, lookup_path, subtree_oid
+from repro.vcs.treeops import flatten_files, flatten_tree, lookup_path, subtree_oid
 from repro.vcs.worktree_state import WorktreeState
 
 __all__ = ["Repository", "CommitInfo", "PreparedMerge", "MergeOutcome", "WorktreeStatus"]
@@ -236,13 +236,17 @@ class Repository:
     @worktree.setter
     def worktree(self, mapping) -> None:
         # Wholesale replacement (merge, tests): any plain mapping is adopted
-        # by rebuilding the indexes in one pass.  An adopted WorktreeState
-        # must drop its known-stored flags — they assert blob membership in
-        # *some* store, not necessarily this repository's — or add() would
-        # skip puts and commit a tree referencing missing blobs.  Content
-        # fingerprints themselves are store-independent and stay valid.
+        # by rebuilding the indexes in one pass.  An adopted WorktreeState is
+        # *detached* (bytes shared, bookkeeping copied) and must drop its
+        # known-stored flags — they assert blob membership in *some* store,
+        # not necessarily this repository's — or add() would skip puts and
+        # commit a tree referencing missing blobs.  Detaching keeps this
+        # repository's staging from re-marking flags on state the donor
+        # repository still uses; content fingerprints are store-independent
+        # and stay valid, and unmaterialised entries keep faulting from the
+        # donor's store (the content-addressed bytes are identical).
         if isinstance(mapping, WorktreeState):
-            self._worktree = mapping
+            self._worktree = mapping.detached_copy()
             self._worktree.forget_stored()
         else:
             self._worktree = WorktreeState(mapping)
@@ -310,6 +314,17 @@ class Repository:
 
     def file_exists(self, path: str) -> bool:
         return normalize_path(path) in self.worktree
+
+    def file_size(self, path: str) -> int:
+        """Byte length of a working-tree file without materialising it.
+
+        A lazily checked-out entry answers through the object store's size
+        probe (header-only on disk layouts); its bytes stay unread.
+        """
+        canonical = normalize_path(path)
+        if canonical not in self._worktree:
+            raise VCSError(f"no such file in the working tree: {canonical!r}")
+        return self._worktree.size_of(canonical)
 
     def directory_exists(self, path: str) -> bool:
         canonical = normalize_path(path)
@@ -443,6 +458,12 @@ class Repository:
         # commit(auto_add=False) after a manual add).
         self._run_pre_commit_hooks()
         if paths is None:
+            # Entries that are lazy but not known stored (an adopted
+            # worktree after forget_stored) all need their bytes to
+            # re-store below; fault them through one batched read instead
+            # of per-path get_blob calls.  A no-op for ordinary lazy
+            # checkouts (everything stored).
+            self._worktree.materialize_unstored()
             # Mirror the worktree wholesale (recording deletions too).  The
             # worktree already enforces the file/directory invariants, so the
             # per-path conflict checks of stage() are unnecessary here, and
@@ -455,15 +476,35 @@ class Repository:
             return targets
         else:
             targets = []
+            seen: set[str] = set()
             for path in paths:
                 canonical = normalize_path(path)
                 if canonical in self.worktree:
-                    targets.append(canonical)
+                    if canonical not in seen:
+                        seen.add(canonical)
+                        targets.append(canonical)
                 elif self.directory_exists(canonical):
-                    targets.extend(self._worktree.files_under(canonical, include_base=False))
+                    for member in self._worktree.files_under(canonical, include_base=False):
+                        # Overlapping arguments (add(["a", "a/b"])) must not
+                        # stage the shared files twice.
+                        if member not in seen:
+                            seen.add(member)
+                            targets.append(member)
+                    # Staging a directory records its deletions too, like
+                    # add(None) and like git: tracked files that vanished
+                    # from the working tree beneath it are unstaged, not
+                    # silently carried into the next commit.
+                    for staged_path in self.index.paths_under(canonical):
+                        if staged_path not in self.worktree:
+                            self.index.discard(staged_path)
                 else:
-                    # Path was deleted from the working tree: unstage it.
+                    # Path was deleted from the working tree: unstage it —
+                    # including staged entries beneath it, for a directory
+                    # whose files *all* vanished (no worktree file survives
+                    # under it, so every staged descendant is stale).
                     self.index.discard(canonical)
+                    for staged_path in self.index.paths_under(canonical):
+                        self.index.discard(staged_path)
         staged: list[str] = []
         for path in targets:
             oid = self._stage_oid(path)
@@ -628,15 +669,28 @@ class Repository:
 
     def _load_worktree(self, commit_oid: str) -> None:
         commit = self.store.get_commit(commit_oid)
-        files = flatten_files(self.store, commit.tree_oid)
-        # Blob oids come straight from the tree, so every fingerprint is
-        # primed as known-stored: the first add/status after a checkout
-        # hashes nothing.
-        self._worktree = WorktreeState()
-        self._worktree.load_committed(
-            (path, self.store.get_blob(oid).data, oid) for path, (oid, _) in files.items()
+        # One tree walk shared between the worktree and the index.  Blob oids
+        # come straight from the tree, so every fingerprint is primed as
+        # known-stored, and the entries are installed *lazily*: no blob is
+        # read until its path is actually accessed — checkout and the
+        # add/status/commit that follow it perform zero blob reads on a
+        # clean tree.  Bytes the outgoing worktree had already materialised
+        # (same oid) are carried over, so branch switching re-reads only
+        # blobs that changed since they were last loaded.
+        flat = flatten_tree(self.store, commit.tree_oid)
+        previous = self._worktree
+        state = WorktreeState()
+        state.load_committed_lazy(
+            (
+                (path, oid)
+                for path, (oid, mode) in flat.items()
+                if mode != MODE_DIRECTORY
+            ),
+            self.store,
+            carry_from=previous if isinstance(previous, WorktreeState) else None,
         )
-        self.index.read_tree(self.store, commit.tree_oid)
+        self._worktree = state
+        self.index.read_flat(self.store, flat)
         self._notify_worktree_reload()
 
     def log(self, ref: str = "HEAD", limit: int | None = None) -> list[CommitInfo]:
@@ -828,8 +882,20 @@ class Repository:
 
         # Build the merged tree and commit with both parents.  Replacing the
         # worktree wholesale invalidates deferred worktree-derived state,
-        # exactly like a checkout.
-        self.worktree = dict(files)
+        # exactly like a checkout.  Paths whose merged bytes were taken
+        # verbatim from an existing blob arrive with their fingerprints
+        # primed as known-stored, so the add() below hashes and stores only
+        # content the merge actually produced.
+        overridden: set[str] = set()
+        if resolutions:
+            overridden.update(normalize_path(path) for path in resolutions)
+        if extra_files:
+            overridden.update(normalize_path(path) for path in extra_files)
+        state = WorktreeState(files)
+        for path, oid in prepared.result.taken_oids.items():
+            if path not in overridden and path in state:
+                state.mark_stored(path, oid)
+        self._worktree = state
         self._notify_worktree_reload()
         self.add()
         tree_oid = self.index.write_tree(self.store)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterable, Iterator, Union
 
 from repro.errors import StorageError
 
@@ -48,6 +48,27 @@ class ObjectBackend(ABC):
     @abstractmethod
     def read_type(self, oid: str) -> str:
         """Return the type name only; raise :class:`KeyError` if absent."""
+
+    def read_many(self, oids: Iterable[str]) -> Iterator[tuple[str, str, bytes]]:
+        """Yield ``(oid, type name, payload)`` for each requested oid.
+
+        No ordering guarantee; a missing oid raises :class:`KeyError` when
+        its turn comes.  The default loops :meth:`read`; layouts with
+        per-read open/seek costs (packs) override it to batch — the lazy
+        worktree's whole-tree materialisation goes through here.
+        """
+        for oid in oids:
+            type_name, payload = self.read(oid)
+            yield oid, type_name, payload
+
+    def read_size(self, oid: str) -> int:
+        """Logical payload size in bytes; raise :class:`KeyError` if absent.
+
+        The default pays a full read; layouts that record the size in a
+        header (loose files) or can derive it without reconstructing the
+        payload (pack deltas) override it so size probes stay cheap.
+        """
+        return len(self.read(oid)[1])
 
     @abstractmethod
     def __contains__(self, oid: str) -> bool: ...

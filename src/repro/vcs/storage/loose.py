@@ -113,7 +113,13 @@ class LooseFileBackend(ObjectBackend):
             raise KeyError(oid)
         return self._load(oid)
 
-    def read_type(self, oid: str) -> str:
+    def _probe_header(self, oid: str) -> bytes:
+        """The first decompressed bytes of an object file (header probe).
+
+        Trusts the header without re-hashing — corruption is still caught by
+        the verifying full read path.  Raises :class:`KeyError` for unknown
+        or unreadable oids, like the other read methods.
+        """
         if oid not in self._known:
             raise KeyError(oid)
         path = self._path_for(oid)
@@ -124,14 +130,28 @@ class LooseFileBackend(ObjectBackend):
             raise KeyError(oid) from None
         decompressor = zlib.decompressobj()
         try:
-            header = decompressor.decompress(probe, _HEADER_PROBE_BYTES)
+            return decompressor.decompress(probe, _HEADER_PROBE_BYTES)
         except zlib.error as exc:
             raise CorruptObjectError(oid, f"zlib decompression failed: {exc}") from exc
+
+    def read_type(self, oid: str) -> str:
+        header = self._probe_header(oid)
         type_name, separator, _ = header.partition(b" ")
         if not separator:
             # Header did not fit in the probe (never happens for real types).
             return self._load(oid)[0]
         return type_name.decode("ascii")
+
+    def read_size(self, oid: str) -> int:
+        """The size the object header declares — no full decompression."""
+        header = self._probe_header(oid)
+        head, separator, _ = header.partition(b"\0")
+        if not separator:
+            return len(self._load(oid)[1])
+        try:
+            return int(head.decode("ascii").rsplit(" ", 1)[1])
+        except (UnicodeDecodeError, IndexError, ValueError) as exc:
+            raise CorruptObjectError(oid, f"malformed object header {head!r}") from exc
 
     def __contains__(self, oid: str) -> bool:
         return oid in self._known

@@ -35,6 +35,9 @@ class MemoryBackend(ObjectBackend):
     def read_type(self, oid: str) -> str:
         return self._objects[oid][0]
 
+    def read_size(self, oid: str) -> int:
+        return len(self._objects[oid][1])
+
     def __contains__(self, oid: str) -> bool:
         return oid in self._objects
 

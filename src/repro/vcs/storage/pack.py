@@ -694,6 +694,46 @@ class PackBackend(ObjectBackend):
         _, type_name, _ = pack.read_header(offset)
         return type_name
 
+    def read_many(self, oids: Iterable[str]) -> Iterator[tuple[str, str, bytes]]:
+        """Batched reads grouped per pack and sorted by record offset.
+
+        One handle acquisition per touched pack and a monotonically forward
+        seek pattern inside each, instead of a per-oid index probe + random
+        seek — this is what serves the lazy worktree's whole-tree
+        materialisation without churning the handle pool.
+        """
+        per_pack: dict[int, list[tuple[int, str]]] = {}
+        packs_by_id: dict[int, _PackFile] = {}
+        for oid in oids:
+            if oid in self._pending:
+                type_name, payload = self._pending[oid]
+                yield oid, type_name, payload
+                continue
+            located = self._packed_lookup(oid)
+            if located is None:
+                raise KeyError(oid)
+            pack, offset = located
+            packs_by_id[id(pack)] = pack
+            per_pack.setdefault(id(pack), []).append((offset, oid))
+        for pack_id, records in per_pack.items():
+            pack = packs_by_id[pack_id]
+            for offset, oid in sorted(records):
+                type_name, payload = self._read_packed(pack, offset, oid)
+                yield oid, type_name, payload
+
+    def read_size(self, oid: str) -> int:
+        """Logical payload size from the record alone — full records report
+        their decompressed length, delta records the length their opcodes
+        encode; neither applies the delta or re-verifies the hash."""
+        if oid in self._pending:
+            return len(self._pending[oid][1])
+        located = self._packed_lookup(oid)
+        if located is None:
+            raise KeyError(oid)
+        pack, offset = located
+        kind, _, data, _ = pack.read_record(offset)
+        return delta_output_length(data) if kind == "delta" else len(data)
+
     def __contains__(self, oid: str) -> bool:
         return oid in self._pending or self._packed_lookup(oid) is not None
 

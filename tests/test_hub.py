@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import (
     AuthenticationError,
+    CorruptObjectError,
     NotFoundError,
     PermissionDeniedError,
     RateLimitExceededError,
@@ -16,6 +17,7 @@ from repro.hub.api import RestApi
 from repro.hub.models import Permission
 from repro.hub.ratelimit import RateLimiter
 from repro.hub.server import HostingPlatform
+from repro.vcs.repository import Repository
 
 
 @pytest.fixture
@@ -247,3 +249,97 @@ class TestRestApi:
 
     def test_invalid_token_is_401(self, api):
         assert api.get("/repos/alice/demo", token="ghs_wrong").status == 401
+
+    def test_contents_put_rejects_malformed_base64(self, api, alice_token):
+        """Junk characters in the base64 payload are a 422, not a silent
+        commit of garbage bytes (b64decode without validate=True discards
+        non-alphabet characters instead of raising)."""
+        before = api.get("/repos/alice/demo/contents/README.md").json["content"]
+        payload = {"message": "sneaky", "content": "QUJD####WFla"}
+        response = api.put("/repos/alice/demo/contents/README.md", payload, token=alice_token)
+        assert response.status == 422
+        assert "base64" in response.json["message"]
+        # The file is untouched — no commit happened.
+        assert api.get("/repos/alice/demo/contents/README.md").json["content"] == before
+
+    def test_contents_put_accepts_valid_base64(self, api, alice_token):
+        payload = {
+            "message": "legit",
+            "content": base64.b64encode(b"clean bytes\n").decode("ascii"),
+        }
+        response = api.put("/repos/alice/demo/contents/README.md", payload, token=alice_token)
+        assert response.status == 201
+        assert base64.b64decode(
+            api.get("/repos/alice/demo/contents/README.md").json["content"]
+        ) == b"clean bytes\n"
+
+    def test_contents_put_accepts_mime_wrapped_base64(self, api, alice_token):
+        """RFC 2045 encoders wrap at 76 columns; the validation must strip
+        the line breaks, not reject the payload."""
+        body = bytes(range(256)) * 2
+        payload = {
+            "message": "wrapped",
+            "content": base64.encodebytes(body).decode("ascii"),
+        }
+        assert "\n" in payload["content"]
+        response = api.put("/repos/alice/demo/contents/blob.bin", payload, token=alice_token)
+        assert response.status == 201
+        assert base64.b64decode(
+            api.get("/repos/alice/demo/contents/blob.bin").json["content"]
+        ) == body
+
+
+class TestStorageCorruptionSurfaces:
+    """Storage corruption must propagate from the contents API, never be
+    masked as a missing file (404 / ``path_exists() is False``)."""
+
+    @pytest.fixture
+    def loose_platform(self, tmp_path):
+        platform = HostingPlatform()
+        platform.register_user("alice")
+        repo = Repository.init("ondisk", "alice", storage=f"loose:{tmp_path / 'objects'}")
+        repo.write_file("/data/readme.txt", b"important bytes\n")
+        repo.commit("seed", author_name="alice")
+        platform.host_repository(repo)
+        return platform, repo, tmp_path / "objects"
+
+    @staticmethod
+    def _corrupt(objects_root, oid):
+        victim = objects_root / oid[:2] / oid[2:]
+        assert victim.is_file()
+        victim.write_bytes(b"not zlib at all")
+
+    def test_corrupt_blob_propagates_from_get_file(self, loose_platform):
+        platform, repo, objects_root = loose_platform
+        blob_oid = repo.blob_oid_at("HEAD", "/data/readme.txt")
+        self._corrupt(objects_root, blob_oid)
+        repo.store._cache.clear()  # force the next read to hit the disk
+        with pytest.raises(CorruptObjectError):
+            platform.get_file("alice/ondisk", "/data/readme.txt")
+
+    def test_corrupt_tree_propagates_from_path_exists(self, loose_platform):
+        platform, repo, objects_root = loose_platform
+        tree_oid = repo.tree_oid_of("HEAD")
+        self._corrupt(objects_root, tree_oid)
+        repo.store._cache.clear()
+        with pytest.raises(CorruptObjectError):
+            platform.path_exists("alice/ondisk", "/data/readme.txt")
+
+    def test_rest_layer_maps_corruption_to_500_not_404(self, loose_platform):
+        platform, repo, objects_root = loose_platform
+        blob_oid = repo.blob_oid_at("HEAD", "/data/readme.txt")
+        self._corrupt(objects_root, blob_oid)
+        repo.store._cache.clear()
+        api = RestApi(platform)
+        response = api.get("/repos/alice/ondisk/contents/data/readme.txt")
+        assert response.status == 500
+        assert "storage" in response.json["message"]
+
+    def test_missing_paths_still_read_as_absent(self, loose_platform):
+        platform, _, _ = loose_platform
+        with pytest.raises(NotFoundError):
+            platform.get_file("alice/ondisk", "/data/nope.txt")
+        with pytest.raises(NotFoundError):
+            platform.get_file("alice/ondisk", "/data/readme.txt", ref="no-such-branch")
+        assert platform.path_exists("alice/ondisk", "/data/nope.txt") is False
+        assert platform.path_exists("alice/ondisk", "/x", ref="no-such-branch") is False

@@ -271,6 +271,144 @@ class TestIndexedWorktreeWrites:
         )
 
 
+class TestLazyCheckout:
+    """Checkout installs oid-backed entries: blobs are read on first access
+    only, so clean checkout + status touch zero blobs no matter the tree size."""
+
+    @staticmethod
+    def _count_blob_reads(repo, counter):
+        original_get_blob = repo.store.get_blob
+        original_get_blobs = repo.store.get_blobs
+
+        def counting_get_blob(oid):
+            counter["n"] += 1
+            return original_get_blob(oid)
+
+        def counting_get_blobs(oids):
+            blobs = original_get_blobs(oids)
+            counter["n"] += len(blobs)
+            return blobs
+
+        repo.store.get_blob = counting_get_blob
+        repo.store.get_blobs = counting_get_blobs
+
+    def test_clean_checkout_and_status_of_5k_tree_read_zero_blobs(self):
+        repo = Repository.init("lazy", "alice")
+        repo.write_files(
+            {f"/src/pkg{i % 40}/module_{i}.py": f"# module {i}\n" for i in range(5000)}
+        )
+        main = repo.commit("seed")
+        repo.write_file("/src/pkg0/module_0.py", "# touched\n")
+        feature = repo.commit("edit")
+
+        from repro.vcs.remote import clone_repository
+
+        cold = clone_repository(repo)  # fully lazy view, nothing materialised
+        reads = {"n": 0}
+        self._count_blob_reads(cold, reads)
+        cold.checkout(main)
+        cold.checkout(feature)
+        for _ in range(3):
+            assert cold.status().is_clean
+        assert reads["n"] == 0
+        assert cold.worktree.materialize_count == 0
+        assert cold.worktree.lazy_count() == 5000
+
+    def test_first_access_materializes_exactly_one_blob(self):
+        repo = Repository.init("lazy", "alice")
+        for i in range(40):
+            repo.write_file(f"/d{i % 4}/f{i}.txt", f"{i}\n")
+        tip = repo.commit("seed")
+        from repro.vcs.remote import clone_repository
+
+        cold = clone_repository(repo)
+        reads = {"n": 0}
+        self._count_blob_reads(cold, reads)
+        assert cold.read_file("/d1/f1.txt") == b"1\n"
+        assert reads["n"] == 1
+        assert cold.worktree.materialize_count == 1
+        # Commit after the lazy checkout reuses the primed fingerprints:
+        # nothing to commit, nothing hashed, nothing read.
+        from repro.errors import VCSError
+
+        with pytest.raises(VCSError):
+            cold.commit("noop")
+        assert reads["n"] == 1
+        assert cold.checkout(tip) == tip
+
+    def test_full_materialisation_uses_one_batched_read(self, monkeypatch):
+        import repro.vcs.storage.base as base_module
+
+        repo = Repository.init("lazy", "alice")
+        for i in range(30):
+            repo.write_file(f"/src/f{i}.txt", f"payload {i}\n")
+        repo.commit("seed")
+        from repro.vcs.remote import clone_repository
+
+        cold = clone_repository(repo)
+        assert cold.worktree.lazy_count() == 30
+
+        calls = {"read_many": 0}
+        original_read_many = base_module.ObjectBackend.read_many
+
+        def counting_read_many(self, oids):
+            calls["read_many"] += 1
+            return original_read_many(self, oids)
+
+        monkeypatch.setattr(base_module.ObjectBackend, "read_many", counting_read_many)
+        materialized = cold.worktree.materialize_all()
+        assert materialized == 30
+        assert calls["read_many"] == 1  # one batch, not 30 single faults
+        assert dict(cold.worktree) == repo.snapshot()
+
+    def test_adopted_worktree_staging_batches_its_faults(self, monkeypatch):
+        """After cross-repo adoption every blob must be read to re-store;
+        those reads go through one batched read_many, not per-path faults."""
+        import repro.vcs.storage.base as base_module
+        from repro.vcs.remote import clone_repository
+
+        donor = Repository.init("donor", "alice")
+        for i in range(40):
+            donor.write_file(f"/src/f{i}.txt", f"payload {i}\n")
+        donor.commit("seed")
+        cold = clone_repository(donor)  # fully lazy view
+        adopter = Repository.init("adopter", "bob")
+        adopter.worktree = cold.worktree
+
+        calls = {"read_many": 0}
+        original_read_many = base_module.ObjectBackend.read_many
+
+        def counting_read_many(self, oids):
+            calls["read_many"] += 1
+            return original_read_many(self, oids)
+
+        monkeypatch.setattr(base_module.ObjectBackend, "read_many", counting_read_many)
+        singles = {"n": 0}
+        original_get_blob = cold.store.get_blob
+
+        def counting_get_blob(oid):
+            singles["n"] += 1
+            return original_get_blob(oid)
+
+        cold.store.get_blob = counting_get_blob
+        adopter.add()
+        assert calls["read_many"] == 1  # one batch served all 40 faults
+        assert singles["n"] == 0  # no per-path get_blob fallbacks
+        assert adopter.commit("adopted")
+
+    def test_lazy_entries_survive_pack_backend_and_export(self, tmp_path):
+        from repro.cli.storage import load_repository, save_repository
+        from repro.vcs.remote import clone_repository
+
+        repo = Repository.init("lazy", "alice")
+        for i in range(25):
+            repo.write_file(f"/lib/f{i}.txt", f"content {i}\n")
+        repo.commit("seed")
+        save_repository(clone_repository(repo), tmp_path / "wc", storage="pack")
+        reopened = load_repository(tmp_path / "wc")
+        assert dict(reopened.worktree) == repo.snapshot()
+
+
 class TestPackHandlePoolAndMidx:
     def test_open_handles_stay_bounded(self, tmp_path):
         backend = PackBackend(tmp_path / "packs", handle_limit=3)

@@ -195,17 +195,38 @@ class PlainDictModel:
             self.index = {p: self._blob_oid(self.files[p]) for p in targets}
             return targets
         targets: list[str] = []
+        seen: set[str] = set()
         for path in paths:
             canonical = normalize_path(path)
             if canonical in self.files:
-                targets.append(canonical)
+                if canonical not in seen:
+                    seen.add(canonical)
+                    targets.append(canonical)
             elif self.directory_exists(canonical):
-                targets.extend(p for p in sorted(self.files) if is_ancestor(canonical, p))
+                for p in sorted(self.files):
+                    if is_ancestor(canonical, p) and p not in seen:
+                        seen.add(p)
+                        targets.append(p)
+                # Staging a directory records deletions beneath it too.
+                for p in list(self.index):
+                    if (p == canonical or is_ancestor(canonical, p)) and p not in self.files:
+                        del self.index[p]
             else:
                 self.index.pop(canonical, None)
+                for p in list(self.index):
+                    if is_ancestor(canonical, p):
+                        del self.index[p]
         for path in targets:
             self.index[path] = self._blob_oid(self.files[path])
         return targets
+
+    def raw_delete(self, path: str) -> None:
+        """Delete straight from the files mapping (no index bookkeeping) —
+        mirrors ``del repo.worktree[path]``, which bypasses ``remove_file``."""
+        canonical = normalize_path(path)
+        if canonical not in self.files:
+            raise VCSError("no such file")
+        del self.files[canonical]
 
     def commit_entries(self) -> dict[str, str]:
         """The entries a ``commit()`` (auto_add) would snapshot; raises the
@@ -255,6 +276,7 @@ _OPERATIONS = st.one_of(
     ),
     st.tuples(st.just("remove_file"), _PATHS),
     st.tuples(st.just("remove_directory"), _PATHS),
+    st.tuples(st.just("raw_delete"), _PATHS),
     st.tuples(st.just("move_file"), _PATHS, _PATHS),
     st.tuples(st.just("move_directory"), _PATHS, _PATHS),
     st.tuples(st.just("add_all")),
@@ -277,6 +299,16 @@ def _apply(target, operation):
             return "ok", target.remove_file(operation[1])
         if kind == "remove_directory":
             return "ok", target.remove_directory(operation[1])
+        if kind == "raw_delete":
+            # Deleting straight off the worktree mapping leaves the staging
+            # index untouched — the case add(["dir"]) must clean up after.
+            if isinstance(target, PlainDictModel):
+                return "ok", target.raw_delete(operation[1])
+            canonical = normalize_path(operation[1])
+            if canonical not in target.worktree:
+                return "err", VCSError
+            del target.worktree[canonical]
+            return "ok", None
         if kind == "move_file":
             return "ok", target.move_file(operation[1], operation[2])
         if kind == "move_directory":
@@ -426,6 +458,317 @@ class TestCrossRepositoryAdoption:
 
         for path, (oid, _) in flatten_files(other.store, tree_oid).items():
             assert other.store.get_blob(oid).data == other.worktree[path]
+
+
+# ---------------------------------------------------------------------------
+# Lazy checkout: the oid-backed view is behaviour-identical to an eager one
+# ---------------------------------------------------------------------------
+
+_LAZY_OPERATIONS = st.one_of(
+    st.tuples(st.just("write"), _PATHS, _DATA),
+    st.tuples(st.just("remove_file"), _PATHS),
+    st.tuples(st.just("move_file"), _PATHS, _PATHS),
+    st.tuples(st.just("move_directory"), _PATHS, _PATHS),
+    st.tuples(st.just("read"), _PATHS),
+    st.tuples(st.just("commit")),
+    st.tuples(st.just("checkout"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("status")),
+    st.tuples(st.just("migrate")),
+    st.tuples(st.just("adopt")),
+)
+
+
+class TestLazyCheckoutBehaviourIdentity:
+    """Random access/mutate/move/checkout/adopt/migrate sequences agree with
+    the plain-dict model — the lazy view changes blob-read *timing* only."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations=st.lists(_LAZY_OPERATIONS, max_size=25))
+    def test_lazy_view_matches_model_across_checkouts(self, operations):
+        from repro.vcs.storage.memory import MemoryBackend
+        from repro.vcs.treeops import flatten_files
+
+        repo = Repository.init("lazy", "alice")
+        model = PlainDictModel()
+        # Seed history: two commits the sequence can check out lazily.
+        for target in (repo, model):
+            target.write_file("/a/keep.txt", b"keep")
+            target.write_file("/a/edit.txt", b"v1")
+        snapshots = [dict(model.files)]
+        commit_oids = [repo.commit("seed 1")]
+        model.commit_entries()
+        for target in (repo, model):
+            target.write_file("/a/edit.txt", b"v2")
+            target.write_file("/b/new.txt", b"n")
+        snapshots.append(dict(model.files))
+        commit_oids.append(repo.commit("seed 2"))
+        model.commit_entries()
+
+        for operation in operations:
+            kind = operation[0]
+            if kind == "commit":
+                expected_error = None
+                try:
+                    entries = model.commit_entries()
+                except VCSError:
+                    expected_error = VCSError
+                if expected_error:
+                    with pytest.raises(VCSError):
+                        repo.commit("step")
+                else:
+                    oid = repo.commit("step")
+                    commit_oids.append(oid)
+                    snapshots.append(dict(model.files))
+                continue
+            if kind == "checkout":
+                position = operation[1] % len(commit_oids)
+                repo.checkout(commit_oids[position])
+                model.files = dict(snapshots[position])
+                model.index = {
+                    path: model._blob_oid(data) for path, data in model.files.items()
+                }
+                model.head_entries = dict(model.index)
+                continue
+            if kind == "read":
+                canonical = normalize_path(operation[1])
+                expected = model.files.get(canonical)
+                if expected is None:
+                    with pytest.raises(VCSError):
+                        repo.read_file(canonical)
+                else:
+                    assert repo.read_file(canonical) == expected
+                continue
+            if kind == "status":
+                actual = repo.status()
+                expected = model.status()
+                assert actual.staged == expected["staged"]
+                assert actual.modified == expected["modified"]
+                assert actual.deleted == expected["deleted"]
+                assert actual.untracked == expected["untracked"]
+                continue
+            if kind == "migrate":
+                # Mid-session layout migration: the store facade keeps its
+                # identity, so unmaterialised entries keep faulting fine.
+                repo.store.migrate_backend(MemoryBackend())
+                continue
+            if kind == "adopt":
+                # A different repository adopting the (possibly lazy) state
+                # must commit a tree whose blobs all live in its own store.
+                adopter = Repository.init("adopter", "bob")
+                adopter.worktree = repo.worktree
+                if adopter.worktree:
+                    adopted_oid = adopter.commit("adopted")
+                    tree_oid = adopter.store.get_commit(adopted_oid).tree_oid
+                    for path, (oid, _) in flatten_files(adopter.store, tree_oid).items():
+                        assert adopter.store.get_blob(oid).data == model.files[path]
+                continue
+            actual = _apply(repo, operation)
+            expected = _apply(model, operation)
+            assert actual == expected, f"diverged on {operation!r}"
+
+        # Full materialisation at the end is byte-identical to the model.
+        assert dict(repo.worktree) == model.files
+        assert repo.list_files() == model.list_files()
+        assert repo.list_directories() == model.list_directories()
+
+
+class TestLazyCheckoutMechanics:
+    def _two_commit_repo(self):
+        """A freshly *cloned* repo whose checkout is fully lazy.
+
+        (Checking out in the repo that just committed carries the already
+        materialised bytes over, by design — a clone starts with none.)
+        """
+        source = Repository.init("lazy", "alice")
+        for i in range(6):
+            source.write_file(f"/src/f{i}.txt", f"content {i}\n")
+        first = source.commit("seed")
+        source.write_file("/src/f0.txt", "changed\n")
+        second = source.commit("edit")
+        from repro.vcs.remote import clone_repository
+
+        return clone_repository(source), first, second
+
+    def test_checkout_installs_lazy_entries_and_access_materializes(self):
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        worktree = repo.worktree
+        assert worktree.lazy_count() == 6
+        assert worktree.materialize_count == 0
+        assert repo.read_file("/src/f3.txt") == b"content 3\n"
+        assert worktree.materialize_count == 1
+        assert worktree.lazy_count() == 5
+        # Repeated access does not re-read.
+        assert repo.read_file("/src/f3.txt") == b"content 3\n"
+        assert worktree.materialize_count == 1
+
+    def test_mutation_severs_laziness_per_path(self):
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        repo.write_file("/src/f1.txt", b"overwritten")
+        worktree = repo.worktree
+        assert repo.read_file("/src/f1.txt") == b"overwritten"
+        assert worktree.materialize_count == 0  # the write never read the blob
+        assert not worktree.is_stored("/src/f1.txt")
+        status = repo.status()
+        assert status.modified == ("/src/f1.txt",)
+
+    def test_moves_carry_laziness_without_reading(self):
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        worktree = repo.worktree
+        repo.move_file("/src/f2.txt", "/src/renamed.txt")
+        assert worktree.materialize_count == 0
+        assert worktree.is_stored("/src/renamed.txt")
+        assert repo.read_file("/src/renamed.txt") == b"content 2\n"
+        assert worktree.materialize_count == 1
+
+    def test_switching_back_carries_materialized_bytes(self):
+        repo, first, second = self._two_commit_repo()
+        repo.checkout(first)
+        repo.read_file("/src/f5.txt")  # materialise one blob
+        count_after_read = repo.worktree.materialize_count
+        assert count_after_read == 1
+        repo.checkout(second)
+        # '/src/f5.txt' is identical in both commits: its bytes were carried,
+        # not re-read; only the changed file is still lazy plus the rest.
+        assert repo.worktree.materialized_bytes(
+            "/src/f5.txt", repo.worktree.fingerprint("/src/f5.txt")
+        ) == b"content 5\n"
+        assert repo.worktree.materialize_count == 0  # fresh state, no faults yet
+        assert repo.read_file("/src/f5.txt") == b"content 5\n"
+        assert repo.worktree.materialize_count == 0  # served from carried bytes
+
+    def test_migrate_backend_keeps_lazy_entries_readable(self, tmp_path):
+        from repro.vcs.storage import make_backend
+
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        assert repo.worktree.lazy_count() == 6
+        repo.store.migrate_backend(make_backend("pack", tmp_path / "packs"))
+        # The store facade kept its identity: faults read the new layout.
+        assert repo.read_file("/src/f4.txt") == b"content 4\n"
+        assert repo.worktree.materialize_count == 1
+
+    def test_adoption_rebinds_blobs_into_the_new_store(self):
+        from repro.vcs.treeops import flatten_files
+
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        other = Repository.init("other", "bob")
+        other.worktree = repo.worktree  # adopt the lazy state wholesale
+        commit_oid = other.commit("adopted")
+        tree_oid = other.store.get_commit(commit_oid).tree_oid
+        for path, (oid, _) in flatten_files(other.store, tree_oid).items():
+            assert other.store.get_blob(oid).data == other.worktree[path]
+
+    def test_full_materialisation_is_byte_identical(self):
+        repo, first, _ = self._two_commit_repo()
+        expected = repo.snapshot(first)
+        repo.checkout(first)
+        assert dict(repo.worktree.items()) == expected
+        assert repo.worktree.lazy_count() == 0
+
+    def test_failed_materialisation_leaves_the_entry_lazy(self):
+        """A corrupt/missing backing blob raises on access but must not
+        corrupt the view: the path stays present, lazy, and retryable."""
+        from repro.errors import ObjectNotFoundError
+
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        worktree = repo.worktree
+        repo.store.get_blob = lambda oid: (_ for _ in ()).throw(ObjectNotFoundError(oid))
+        try:
+            with pytest.raises(ObjectNotFoundError):
+                repo.read_file("/src/f2.txt")
+        finally:
+            del repo.store.get_blob  # restore the real method
+        assert "/src/f2.txt" in worktree
+        assert len(worktree) == 6
+        assert worktree.lazy_count() == 6
+        assert worktree.materialize_count == 0
+        # The store recovered: the same access now succeeds.
+        assert repo.read_file("/src/f2.txt") == b"content 2\n"
+
+    def test_file_size_answers_without_materialising(self):
+        repo, first, _ = self._two_commit_repo()
+        repo.checkout(first)
+        assert repo.file_size("/src/f3.txt") == len(b"content 3\n")
+        assert repo.worktree.materialize_count == 0
+        assert repo.worktree.lazy_count() == 6
+        with pytest.raises(VCSError):
+            repo.file_size("/src/missing.txt")
+
+
+class TestAddDirectoryRecordsDeletions:
+    """``add(["dir"])`` unstages tracked files deleted beneath the directory
+    (previously they were silently carried into the next commit)."""
+
+    def test_raw_deletion_under_directory_is_unstaged(self):
+        repo = Repository.init("adddir", "alice")
+        repo.write_file("/d/a.txt", b"a")
+        repo.write_file("/d/b.txt", b"b")
+        repo.write_file("/other.txt", b"o")
+        repo.commit("seed")
+        del repo.worktree["/d/a.txt"]  # bypasses remove_file's index upkeep
+        assert repo.index.get("/d/a.txt") is not None  # stale entry
+        repo.add(["/d"])
+        assert repo.index.get("/d/a.txt") is None
+        commit_oid = repo.commit("drop", auto_add=False)
+        from repro.vcs.treeops import flatten_files
+
+        tree_oid = repo.store.get_commit(commit_oid).tree_oid
+        assert "/d/a.txt" not in flatten_files(repo.store, tree_oid)
+        assert "/d/b.txt" in flatten_files(repo.store, tree_oid)
+
+    def test_stale_file_entry_at_directory_path_is_unstaged(self):
+        repo = Repository.init("adddir", "alice")
+        repo.write_file("/d", b"was a file")
+        repo.add(["/d"])
+        del repo.worktree["/d"]
+        repo.write_file("/d/inner.txt", b"i")
+        repo.add(["/d"])
+        assert repo.index.get("/d") is None
+        assert repo.index.get("/d/inner.txt") is not None
+
+    def test_overlapping_paths_stage_once(self):
+        repo = Repository.init("adddir", "alice")
+        repo.write_file("/a/b/f.txt", b"f")
+        repo.write_file("/a/g.txt", b"g")
+        staged = repo.add(["/a", "/a/b", "/a/b/f.txt"])
+        assert staged == ["/a/b/f.txt", "/a/g.txt"]
+
+    def test_fully_vanished_directory_is_unstaged(self):
+        """When *every* file under the staged directory vanished, the
+        directory no longer exists in the worktree — the deletions must
+        still be recorded, exactly as add(None) records them."""
+        repo = Repository.init("adddir", "alice")
+        repo.write_file("/d/a.txt", b"a")
+        repo.write_file("/d/b.txt", b"b")
+        repo.write_file("/other.txt", b"o")
+        repo.commit("seed")
+        del repo.worktree["/d/a.txt"]
+        del repo.worktree["/d/b.txt"]
+        assert repo.add(["/d"]) == []
+        assert repo.index.get("/d/a.txt") is None
+        assert repo.index.get("/d/b.txt") is None
+        commit_oid = repo.commit("drop dir", auto_add=False)
+        from repro.vcs.treeops import flatten_files
+
+        tree_oid = repo.store.get_commit(commit_oid).tree_oid
+        assert set(flatten_files(repo.store, tree_oid)) == {"/other.txt"}
+
+    def test_unstage_deleted_under_directory_matches_add_all(self):
+        left = Repository.init("left", "alice")
+        right = Repository.init("right", "alice")
+        for repo in (left, right):
+            repo.write_file("/d/x.txt", b"x")
+            repo.write_file("/d/y.txt", b"y")
+            repo.commit("seed")
+            del repo.worktree["/d/y.txt"]
+        left.add(["/d"])
+        right.add()
+        assert left.index.entries() == right.index.entries()
 
 
 class TestWorktreeStateMapping:
