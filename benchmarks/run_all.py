@@ -53,7 +53,10 @@ from repro.utils.paths import ROOT, is_ancestor, path_parent  # noqa: E402
 from repro.utils.timeutil import FixedClock, reset_clock, set_clock  # noqa: E402
 from repro.vcs.object_store import ObjectStore  # noqa: E402
 from repro.vcs.objects import MODE_FILE, Blob, Commit, Signature  # noqa: E402
-from repro.vcs.remote import clone_repository  # noqa: E402
+from repro.vcs.merge import commit_ancestors  # noqa: E402
+from repro.vcs.remote import clone_repository, sync_objects  # noqa: E402
+from repro.vcs.transfer import apply_bundle, common_tips, create_bundle  # noqa: E402
+from repro.vcs.treeops import flatten_tree  # noqa: E402
 from repro.vcs.repository import Repository  # noqa: E402
 from repro.vcs.storage import make_backend  # noqa: E402
 from repro.vcs.storage.pack import PackBackend  # noqa: E402
@@ -733,6 +736,164 @@ def bench_checkout_switch(num_files: int = 5000, num_changed: int = 25, switches
     }
 
 
+# ---------------------------------------------------------------------------
+# Sync-subsystem scenarios (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def _seed_full_history_offer(store, tip) -> set[str]:
+    """The seed's transfer planning: flatten every tree of every ancestor."""
+    reachable: set[str] = set()
+    for ancestor in commit_ancestors(store, tip):
+        if ancestor in reachable:
+            continue
+        reachable.add(ancestor)
+        commit = store.get_commit(ancestor)
+        for _path, (oid, _mode) in flatten_tree(store, commit.tree_oid).items():
+            reachable.add(oid)
+    return reachable
+
+
+def bench_push_incremental(num_files: int = 5000, history_commits: int = 50) -> dict:
+    """Push 1 new commit on a 5k-file / 50-commit history: seed vs negotiated.
+
+    The seed's push re-walked the *entire* commit history (flattening every
+    ancestor tree) and offered every reachable object on each push; the sync
+    subsystem negotiates haves/wants and moves a thin bundle of O(changed)
+    objects.  Both remotes must end byte-identical.  The gated
+    ``objects_transfer_ratio`` is offered-objects(optimized) /
+    offered-objects(seed) — the ISSUE's <= 0.05 acceptance.
+    """
+    signature = Signature(name="alice", email="alice@example.org", timestamp=_STORAGE_STAMP)
+    body = "".join(f"value_{i} = {i}\n" for i in range(40))
+    source = Repository.init("bench", "alice")
+    source.write_files(
+        {f"/src/pkg{i % 40}/module_{i}.py": f"# module {i}\n{body}" for i in range(num_files)}
+    )
+    source.commit("initial", author=signature)
+    for round_number in range(history_commits):
+        source.write_files(
+            {
+                f"/src/pkg{(round_number * 10 + slot) % 40}/module_{(round_number * 10 + slot) % num_files}.py":
+                    f"# revision {round_number}.{slot}\n{body}"
+                for slot in range(10)
+            }
+        )
+        source.commit(f"round {round_number}", author=signature)
+
+    local = clone_repository(source)
+    local.write_file("/src/pkg7/module_7.py", f"# the one new change\n{body}")
+    tip = local.commit("feature", author=signature)
+    remote_baseline = clone_repository(source)
+    remote_optimized = clone_repository(source)
+    holder: dict[str, int] = {}
+
+    def run_baseline():
+        offer = _seed_full_history_offer(local.store, tip)
+        local.store.copy_objects_to(remote_baseline.store, offer)
+        remote_baseline.refs.set_branch("main", tip)
+        holder["baseline_offered"] = len(offer)
+
+    baseline_s = _timed(run_baseline)
+
+    def run_optimized():
+        haves = common_tips(local.store, remote_optimized)
+        data = create_bundle(local.store, [tip], haves=haves)
+        result = apply_bundle(remote_optimized.store, data)
+        remote_optimized.refs.set_branch("main", tip)
+        holder["optimized_offered"] = result.objects_total
+        holder["bundle_bytes"] = len(data)
+
+    optimized_s = _timed(run_optimized)
+
+    identical = (
+        remote_baseline.head_oid() == remote_optimized.head_oid() == tip
+        and remote_baseline.snapshot() == remote_optimized.snapshot()
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "baseline_objects_offered": holder["baseline_offered"],
+        "optimized_objects_offered": holder["optimized_offered"],
+        "objects_transfer_ratio": holder["optimized_offered"] / holder["baseline_offered"],
+        "bundle_bytes": holder["bundle_bytes"],
+        "files": num_files,
+        "history_commits": history_commits + 1,
+    }
+
+
+def bench_pull_after_divergence(num_files: int = 3000, new_commits: int = 5) -> dict:
+    """Pull upstream commits into a locally diverged clone: seed vs negotiated.
+
+    The local side has its own side-branch work (so its tip is unknown
+    upstream) and upstream advanced ``new_commits`` on main.  The seed fetch
+    re-offered every object reachable from upstream's tip; the negotiation
+    walks back from the local tips to the shared base and transfers only the
+    new commits' objects.
+    """
+    signature = Signature(name="alice", email="alice@example.org", timestamp=_STORAGE_STAMP)
+    body = "".join(f"value_{i} = {i}\n" for i in range(40))
+    upstream = Repository.init("bench", "alice")
+    upstream.write_files(
+        {f"/src/pkg{i % 30}/module_{i}.py": f"# module {i}\n{body}" for i in range(num_files)}
+    )
+    upstream.commit("initial", author=signature)
+
+    def make_local() -> Repository:
+        local = clone_repository(upstream)
+        local.checkout("side", create_branch=True)
+        local.write_file("/local/notes.txt", "diverged local work\n")
+        local.commit("local side work", author=signature)
+        local.checkout("main")
+        return local
+
+    local_baseline = make_local()
+    local_optimized = make_local()
+    for round_number in range(new_commits):
+        upstream.write_file(
+            f"/src/pkg{round_number % 30}/module_{round_number}.py",
+            f"# upstream revision {round_number}\n{body}",
+        )
+        upstream.commit(f"upstream {round_number}", author=signature)
+    upstream_tip = upstream.head_oid()
+    holder: dict[str, int] = {}
+
+    def run_baseline():
+        offer = _seed_full_history_offer(upstream.store, upstream_tip)
+        upstream.store.copy_objects_to(local_baseline.store, offer)
+        local_baseline.refs.set_branch("main", upstream_tip)
+        local_baseline.checkout("main")
+        holder["baseline_offered"] = len(offer)
+
+    baseline_s = _timed(run_baseline)
+
+    def run_optimized():
+        result = sync_objects(upstream, local_optimized, [upstream_tip])
+        local_optimized.refs.set_branch("main", upstream_tip)
+        local_optimized.checkout("main")
+        holder["optimized_offered"] = result.objects_total
+
+    optimized_s = _timed(run_optimized)
+
+    identical = (
+        local_baseline.head_oid() == local_optimized.head_oid() == upstream_tip
+        and local_baseline.snapshot() == local_optimized.snapshot()
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "baseline_objects_offered": holder["baseline_offered"],
+        "optimized_objects_offered": holder["optimized_offered"],
+        "objects_transfer_ratio": holder["optimized_offered"] / holder["baseline_offered"],
+        "files": num_files,
+        "new_commits": new_commits,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -746,6 +907,8 @@ SCENARIOS = {
     "single_write_file_scaling": bench_single_write_file,
     "multipack_cold_open": bench_multipack_cold_open,
     "checkout_5k_switch": bench_checkout_switch,
+    "push_incremental_5k": bench_push_incremental,
+    "pull_after_divergence": bench_pull_after_divergence,
 }
 
 

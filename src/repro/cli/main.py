@@ -9,7 +9,7 @@ from typing import Optional, Sequence
 from repro.errors import CLIError, ReproError
 from repro.citation.conflict import available_strategies
 from repro.formats import available_formats
-from repro.cli import commands, storage
+from repro.cli import bundle, commands, storage
 from repro.vcs.storage import backend_kinds
 
 __all__ = ["build_parser", "main"]
@@ -197,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sp)
     sp.add_argument("--to", required=True, choices=backend_kinds(), help="target storage layout")
     sp.set_defaults(func=storage.cmd_storage_migrate)
+
+    p = sub.add_parser("bundle", help="create, verify or apply transfer bundle files")
+    bundle_sub = p.add_subparsers(dest="bundle_command", required=True)
+
+    sp = bundle_sub.add_parser(
+        "create",
+        help="write the repository history (or selected refs) as a bundle file",
+    )
+    _add_common(sp)
+    sp.add_argument("file", help="bundle file to write")
+    sp.add_argument("--ref", dest="refs", action="append",
+                    help="branch/tag/commit to bundle (repeatable; default: all refs)")
+    sp.add_argument("--basis", dest="basis", action="append",
+                    help="assume the receiver has this ref (repeatable; makes a thin bundle)")
+    sp.set_defaults(func=bundle.cmd_bundle_create)
+
+    sp = bundle_sub.add_parser(
+        "verify",
+        help="check a bundle file (checksum, object hashes, applicability)",
+    )
+    _add_common(sp)
+    sp.add_argument("file", help="bundle file to verify")
+    sp.set_defaults(func=bundle.cmd_bundle_verify)
+
+    sp = bundle_sub.add_parser(
+        "unbundle",
+        help="apply a bundle file to the working copy (fast-forward refs)",
+    )
+    _add_common(sp)
+    sp.add_argument("file", help="bundle file to apply")
+    sp.add_argument("--force", action="store_true",
+                    help="allow non-fast-forward branch updates and tag moves")
+    sp.set_defaults(func=bundle.cmd_bundle_unbundle)
 
     return parser
 

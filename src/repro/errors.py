@@ -22,6 +22,7 @@ __all__ = [
     "MergeError",
     "MergeConflictError",
     "RemoteError",
+    "BundleError",
     "HubError",
     "AuthenticationError",
     "PermissionDeniedError",
@@ -109,6 +110,14 @@ class MergeConflictError(MergeError):
 
 class RemoteError(VCSError):
     """Push/pull/clone between repositories failed."""
+
+
+class BundleError(RemoteError):
+    """A transfer bundle is malformed, truncated, corrupt or inapplicable.
+
+    Raised by the sync subsystem *before* anything is written, so a bad
+    bundle never leaves the receiving repository partially updated.
+    """
 
 
 # ---------------------------------------------------------------------------

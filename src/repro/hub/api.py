@@ -16,10 +16,18 @@ Routes implemented::
     GET    /repos/{owner}/{repo}/commits?sha={ref}
     GET    /repos/{owner}/{repo}/collaborators/{username}/permission
     GET    /repos/{owner}/{repo}/git/trees/{ref}
+    GET    /repos/{owner}/{repo}/git/refs
+    POST   /repos/{owner}/{repo}/git/upload-pack
+    POST   /repos/{owner}/{repo}/git/receive-pack
     GET    /repos/{owner}/{repo}/contents/{path}?ref={ref}
     PUT    /repos/{owner}/{repo}/contents/{path}
     DELETE /repos/{owner}/{repo}/contents/{path}
     POST   /repos/{owner}/{repo}/forks
+
+The three ``git/*`` sync endpoints carry the have/want negotiation and the
+bundle payloads of :mod:`repro.vcs.transfer`, so a client can clone, fetch
+and push over the same REST discipline the browser extension uses —
+authentication, permissions and rate limiting included.
 """
 
 from __future__ import annotations
@@ -150,6 +158,12 @@ class RestApi:
                 return self._post_fork
             if len(parts) == 6 and parts[3] == "collaborators" and parts[5] == "permission" and method == "GET":
                 return self._get_permission
+            if len(parts) == 5 and parts[3] == "git" and parts[4] == "refs" and method == "GET":
+                return self._get_git_refs
+            if len(parts) == 5 and parts[3] == "git" and parts[4] == "upload-pack" and method == "POST":
+                return self._post_upload_pack
+            if len(parts) == 5 and parts[3] == "git" and parts[4] == "receive-pack" and method == "POST":
+                return self._post_receive_pack
             if len(parts) >= 5 and parts[3] == "git" and parts[4] == "trees" and method == "GET":
                 return self._get_tree
             if len(parts) >= 5 and parts[3] == "contents":
@@ -224,6 +238,45 @@ class RestApi:
         ref = parts[5] if len(parts) > 5 else None
         listing = self.platform.list_tree(self._slug(route), ref=ref, token=token)
         return {"tree": listing, "truncated": False}
+
+    def _get_git_refs(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        return self.platform.git_refs(self._slug(route), token=token)
+
+    def _post_upload_pack(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        wants = payload.get("wants")
+        if (
+            not isinstance(wants, list)
+            or not wants
+            or not all(isinstance(want, str) for want in wants)
+        ):
+            raise ValidationError("upload-pack requires a non-empty list of 'wants' strings")
+        haves = payload.get("haves") or []
+        if not isinstance(haves, list) or not all(isinstance(have, str) for have in haves):
+            raise ValidationError("'haves' must be a list of commit id strings")
+        data = self.platform.upload_pack(
+            self._slug(route), wants=wants, haves=haves, token=token
+        )
+        return {
+            "bundle": base64.b64encode(data).decode("ascii"),
+            "size": len(data),
+        }
+
+    def _post_receive_pack(self, route: _Route, token: Optional[str], payload: dict) -> dict:
+        if "bundle" not in payload:
+            raise ValidationError("receive-pack requires a base64 'bundle' field")
+        try:
+            encoded = payload["bundle"]
+            if isinstance(encoded, str):
+                encoded = "".join(encoded.split())
+            data = base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError, TypeError) as exc:
+            raise ValidationError(f"bundle is not valid base64: {exc}") from exc
+        return self.platform.receive_pack(
+            self._slug(route),
+            token=token,
+            bundle_data=data,
+            force=bool(payload.get("force", False)),
+        )
 
     def _get_contents(self, route: _Route, token: Optional[str], payload: dict) -> dict:
         slug = self._slug(route)

@@ -15,10 +15,13 @@ from typing import Optional
 
 from repro.errors import (
     AuthenticationError,
+    BundleError,
     InvalidObjectError,
     NotFoundError,
     ObjectNotFoundError,
     PermissionDeniedError,
+    RefError,
+    RemoteError,
     StorageError,
     ValidationError,
     VCSError,
@@ -30,6 +33,12 @@ from repro.utils.paths import normalize_path
 from repro.utils.timeutil import now_utc
 from repro.vcs.remote import clone_repository, fork_repository, push
 from repro.vcs.repository import Repository
+from repro.vcs.transfer import (
+    advertise_refs,
+    apply_bundle,
+    create_bundle,
+    update_refs_from_bundle,
+)
 from repro.vcs.treeops import flatten_tree
 
 __all__ = ["HostingPlatform"]
@@ -185,6 +194,65 @@ class HostingPlatform:
         hosted = self.get_repository(slug, token=token)
         self._require_permission(hosted, token, Permission.WRITE)
         return push(local_repo, hosted.repo, branch=branch, force=force)
+
+    # ------------------------------------------------------------------
+    # Git wire protocol (what the sync subsystem speaks over the REST API)
+    # ------------------------------------------------------------------
+
+    def git_refs(self, slug: str, token: Optional[str] = None) -> dict:
+        """The ref advertisement of a hosted repository (read visibility)."""
+        hosted = self.get_repository(slug, token=token)
+        return advertise_refs(hosted.repo).to_dict()
+
+    def upload_pack(self, slug: str, wants, haves=(), token: Optional[str] = None) -> bytes:
+        """Serve a bundle of the wanted history, thin against ``haves``.
+
+        ``wants`` may be commit ids (full or abbreviated) or ref names; the
+        negotiation drops ``haves`` this repository has never seen, exactly
+        like a real fetch negotiation.  Requires read visibility (private
+        repositories stay indistinguishable from missing ones).
+        """
+        hosted = self.get_repository(slug, token=token)
+        repo = hosted.repo
+        resolved: list[str] = []
+        for want in wants:
+            try:
+                resolved.append(repo.resolve(str(want)))
+            except (RefError, VCSError) as exc:
+                raise NotFoundError(f"{slug} has no ref or commit {want!r}") from exc
+        if not resolved:
+            raise ValidationError("upload-pack requires at least one want")
+        return create_bundle(
+            repo.store, resolved, haves=tuple(haves), refs=advertise_refs(repo)
+        )
+
+    def receive_pack(self, slug: str, token: str, bundle_data: bytes,
+                     force: bool = False) -> dict:
+        """Accept a pushed bundle (write access required).
+
+        The bundle is verified end to end — checksum, per-object hashes,
+        prerequisites, connectivity — before any object lands, so a corrupt
+        or truncated bundle changes nothing at all.  Branch updates are
+        fast-forward-only unless ``force``; a non-fast-forward rejection
+        moves no refs (objects already installed stay, unreachable, until
+        the next gc — exactly git's behaviour).  Both failure shapes surface
+        as :class:`ValidationError` (HTTP 422 at the REST boundary).
+        """
+        hosted = self.get_repository(slug, token=token)
+        self._require_permission(hosted, token, Permission.WRITE)
+        repo = hosted.repo
+        try:
+            result = apply_bundle(repo.store, bundle_data)
+            updated = update_refs_from_bundle(repo, result.bundle, force=force)
+        except BundleError as exc:
+            raise ValidationError(f"rejected bundle: {exc}") from exc
+        except RemoteError as exc:
+            raise ValidationError(str(exc)) from exc
+        return {
+            "updated": updated,
+            "objects_in_bundle": result.objects_total,
+            "objects_added": result.objects_added,
+        }
 
     # ------------------------------------------------------------------
     # Contents API (what the browser extension uses)

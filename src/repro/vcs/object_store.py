@@ -16,6 +16,7 @@ era; callers pick a layout at construction time and nothing else.
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Iterable, Iterator
@@ -24,10 +25,40 @@ from repro.errors import InvalidObjectError, ObjectNotFoundError
 from repro.vcs.objects import Blob, Commit, Tag, Tree, VCSObject, deserialize_object
 from repro.vcs.storage import BackendSpec, MemoryBackend, ObjectBackend, make_backend
 
-__all__ = ["ObjectStore", "DEFAULT_CACHE_SIZE"]
+__all__ = ["ObjectStore", "StoreLease", "DEFAULT_CACHE_SIZE"]
 
 #: Deserialised objects kept hot in front of the backend.
 DEFAULT_CACHE_SIZE = 512
+
+
+class StoreLease:
+    """A revocable pin on a set of object ids.
+
+    While a lease is live, :meth:`ObjectStore.gc` treats its oids as
+    reachable no matter what ``keep`` set the caller computed — the registry
+    exists for borrowers the reachability walk cannot see, such as a lazy
+    worktree adopted by *another* repository that still faults bytes from
+    this store.  The store only holds a weak reference, so a lease (and its
+    pin) vanishes with its holder even if :meth:`release` is never called.
+    """
+
+    __slots__ = ("oids", "_registry", "__weakref__")
+
+    def __init__(self, registry, oids: Iterable[str]) -> None:
+        self.oids: set[str] = set(oids)
+        self._registry = registry
+        registry.add(self)
+
+    @property
+    def released(self) -> bool:
+        return self._registry is None
+
+    def release(self) -> None:
+        """Drop the pin; idempotent."""
+        if self._registry is not None:
+            self._registry.discard(self)
+            self._registry = None
+        self.oids.clear()
 
 
 class ObjectStore:
@@ -47,6 +78,9 @@ class ObjectStore:
         self._cache_size = cache_size
         self._sorted_oids: list[str] = []
         self._indexed_mutation = -1
+        #: Live pins on oids borrowed by parties outside any reachability
+        #: walk (see :class:`StoreLease`); weak so dropped holders unpin.
+        self._leases: "weakref.WeakSet[StoreLease]" = weakref.WeakSet()
         #: Number of sorted-list probes the last ``resolve_prefix`` made
         #: (deterministic instrumentation for the perf smoke tests).
         self.last_resolve_scan_steps = 0
@@ -79,6 +113,16 @@ class ObjectStore:
         """Store several objects, returning their ids in order."""
         return [self.put(obj) for obj in objects]
 
+    def put_raw_many(self, records: Iterable[tuple[str, str, bytes]]) -> int:
+        """Write raw ``(oid, type, payload)`` records in one backend batch.
+
+        The bundle-apply path: payloads were already hash-verified against
+        their ids by the caller, so no object is constructed or parsed here.
+        Records whose oid is already stored are skipped; returns how many
+        were newly added.
+        """
+        return self._backend.write_many(records)
+
     # -- reading -----------------------------------------------------------
 
     def get(self, oid: str) -> VCSObject:
@@ -108,6 +152,22 @@ class ObjectStore:
             return cached.type_name
         try:
             return self._backend.read_type(oid)
+        except KeyError:
+            raise ObjectNotFoundError(oid) from None
+
+    def get_raw(self, oid: str) -> tuple[str, bytes]:
+        """Return ``(type name, serialised payload)`` without deserialising.
+
+        The transfer layer moves objects as raw bytes; a cache hit serves
+        the payload by re-serialising the cached object (deterministic by
+        construction), a miss reads the backend record directly.
+        """
+        cached = self._cache.get(oid)
+        if cached is not None:
+            self._cache.move_to_end(oid)
+            return cached.type_name, cached.serialize()
+        try:
+            return self._backend.read(oid)
         except KeyError:
             raise ObjectNotFoundError(oid) from None
 
@@ -269,9 +329,32 @@ class ObjectStore:
         self._indexed_mutation = -1
         return moved
 
+    def pin(self, oids: Iterable[str]) -> StoreLease:
+        """Pin ``oids`` against garbage collection; returns the lease.
+
+        Callers hold the lease for as long as they may still read the oids
+        (lazy worktrees borrowing from this store do exactly that) and
+        :meth:`StoreLease.release` it — or simply drop it — when done.
+        """
+        return StoreLease(self._leases, oids)
+
+    def pinned_oids(self) -> set[str]:
+        """The union of every live lease's oids (what gc must not drop)."""
+        pinned: set[str] = set()
+        for lease in self._leases:
+            pinned |= lease.oids
+        return pinned
+
     def gc(self, keep: set[str]) -> int:
-        """Drop every object not in ``keep``; returns how many were removed."""
-        removed = self._backend.gc(set(keep))
+        """Drop every object not in ``keep``; returns how many were removed.
+
+        Leased oids (:meth:`pin`) are kept regardless of ``keep`` — the
+        reachability walk that computed ``keep`` cannot see borrowers such
+        as lazy worktrees adopted by other repositories, and dropping their
+        backing blobs would corrupt reads they are entitled to make.
+        """
+        keep = set(keep) | self.pinned_oids()
+        removed = self._backend.gc(keep)
         if removed:
             self._cache = OrderedDict(
                 (oid, obj) for oid, obj in self._cache.items() if oid in keep

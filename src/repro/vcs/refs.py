@@ -14,14 +14,19 @@ from typing import Optional
 
 from repro.errors import RefError
 
-__all__ = ["RefStore", "DEFAULT_BRANCH"]
+__all__ = ["RefStore", "DEFAULT_BRANCH", "validate_ref_name"]
 
 DEFAULT_BRANCH = "main"
 
 _REF_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/-]*$")
 
 
-def _validate_ref_name(name: str) -> str:
+def validate_ref_name(name: str) -> str:
+    """Check a branch/tag name; raises :class:`RefError` when illegal.
+
+    Public so untrusted ref names arriving from outside (bundle headers, wire
+    payloads) can be vetted *before* any ref store is touched.
+    """
     if not _REF_NAME_PATTERN.match(name) or name.endswith("/") or ".." in name:
         raise RefError(f"illegal reference name: {name!r}")
     return name
@@ -31,7 +36,7 @@ class RefStore:
     """Branch/tag/HEAD bookkeeping for a single repository."""
 
     def __init__(self, default_branch: str = DEFAULT_BRANCH) -> None:
-        _validate_ref_name(default_branch)
+        validate_ref_name(default_branch)
         self._branches: dict[str, str] = {}
         self._tags: dict[str, str] = {}
         self._head_branch: Optional[str] = default_branch
@@ -56,7 +61,7 @@ class RefStore:
 
     def set_branch(self, name: str, oid: str) -> None:
         """Create or move a branch to ``oid``."""
-        _validate_ref_name(name)
+        validate_ref_name(name)
         self._branches[name] = oid
 
     def delete_branch(self, name: str) -> None:
@@ -67,7 +72,7 @@ class RefStore:
         del self._branches[name]
 
     def rename_branch(self, old: str, new: str) -> None:
-        _validate_ref_name(new)
+        validate_ref_name(new)
         if new in self._branches:
             raise RefError(f"branch already exists: {new!r}")
         self._branches[new] = self.branch_target(old)
@@ -84,7 +89,7 @@ class RefStore:
         return dict(self._tags)
 
     def set_tag(self, name: str, oid: str) -> None:
-        _validate_ref_name(name)
+        validate_ref_name(name)
         if name in self._tags:
             raise RefError(f"tag already exists: {name!r}")
         self._tags[name] = oid
@@ -119,7 +124,7 @@ class RefStore:
 
     def attach_head(self, branch: str) -> None:
         """Point HEAD at ``branch`` (which must exist unless the repo is empty)."""
-        _validate_ref_name(branch)
+        validate_ref_name(branch)
         if self._branches and branch not in self._branches:
             raise RefError(f"cannot attach HEAD to unknown branch {branch!r}")
         self._head_branch = branch

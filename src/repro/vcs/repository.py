@@ -245,11 +245,14 @@ class Repository:
         # repository still uses; content fingerprints are store-independent
         # and stay valid, and unmaterialised entries keep faulting from the
         # donor's store (the content-addressed bytes are identical).
+        previous = self._worktree
         if isinstance(mapping, WorktreeState):
             self._worktree = mapping.detached_copy()
             self._worktree.forget_stored()
         else:
             self._worktree = WorktreeState(mapping)
+        if isinstance(previous, WorktreeState) and previous is not mapping:
+            previous.release_lease()
 
     def write_file(self, path: str, data: bytes | str) -> str:
         """Create or overwrite a file in the working tree; returns its canonical path.
@@ -690,6 +693,11 @@ class Repository:
             carry_from=previous if isinstance(previous, WorktreeState) else None,
         )
         self._worktree = state
+        if isinstance(previous, WorktreeState):
+            # The outgoing worktree no longer backs this repository; its gc
+            # pin is returned now rather than at garbage-collection time
+            # (adopted copies hold their own lease, so borrowers stay safe).
+            previous.release_lease()
         self.index.read_flat(self.store, flat)
         self._notify_worktree_reload()
 
@@ -895,6 +903,7 @@ class Repository:
         for path, oid in prepared.result.taken_oids.items():
             if path not in overridden and path in state:
                 state.mark_stored(path, oid)
+        self._worktree.release_lease()
         self._worktree = state
         self._notify_worktree_reload()
         self.add()

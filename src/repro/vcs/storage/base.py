@@ -41,6 +41,19 @@ class ObjectBackend(ABC):
     def write(self, oid: str, type_name: str, payload: bytes) -> bool:
         """Store a raw object; return ``True`` if it was newly added."""
 
+    def write_many(self, records: Iterable[tuple[str, str, bytes]]) -> int:
+        """Store raw ``(oid, type, payload)`` records; return how many were new.
+
+        The default loops :meth:`write`; layouts that can amortise
+        bookkeeping across a batch (one mutation bump, one pending-buffer
+        update) override it.  This is the bundle-apply write path.
+        """
+        added = 0
+        for oid, type_name, payload in records:
+            if self.write(oid, type_name, payload):
+                added += 1
+        return added
+
     @abstractmethod
     def read(self, oid: str) -> tuple[str, bytes]:
         """Return ``(type name, payload)``; raise :class:`KeyError` if absent."""

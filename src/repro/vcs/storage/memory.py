@@ -29,6 +29,16 @@ class MemoryBackend(ObjectBackend):
         self.mutation_counter += 1
         return True
 
+    def write_many(self, records) -> int:
+        added = 0
+        for oid, type_name, payload in records:
+            if oid not in self._objects:
+                self._objects[oid] = (type_name, payload)
+                added += 1
+        if added:
+            self.mutation_counter += 1
+        return added
+
     def read(self, oid: str) -> tuple[str, bytes]:
         return self._objects[oid]
 

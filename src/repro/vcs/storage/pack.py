@@ -633,6 +633,17 @@ class PackBackend(ObjectBackend):
         self.mutation_counter += 1
         return True
 
+    def write_many(self, records) -> int:
+        """Batch writes into the pending buffer with one mutation bump."""
+        added = 0
+        for oid, type_name, payload in records:
+            if oid not in self:
+                self._pending[oid] = (type_name, payload)
+                added += 1
+        if added:
+            self.mutation_counter += 1
+        return added
+
     def _packed_lookup(self, oid: str) -> tuple[_PackFile, int] | None:
         if self._midx is not None:
             located = self._midx.lookup(oid)

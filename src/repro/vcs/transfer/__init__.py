@@ -1,0 +1,55 @@
+"""Smart incremental sync: have/want negotiation and bundle transfer.
+
+The subsystem behind every repo-to-repo path (push, pull, fetch, clone, the
+hub's ``git/refs`` / ``upload-pack`` / ``receive-pack`` wire endpoints and
+the ``gitcite bundle`` commands).  Three layers:
+
+* :mod:`~repro.vcs.transfer.frontier` — ref advertisement and the
+  reachability frontier walk that plans an O(changed) transfer;
+* :mod:`~repro.vcs.transfer.bundle` — the self-contained, checksummed,
+  delta-compressed bundle byte format;
+* :mod:`~repro.vcs.transfer.session` — negotiate → bundle → verified apply,
+  with receiver-side atomicity (a bad bundle changes nothing).
+"""
+
+from repro.vcs.transfer.bundle import (
+    Bundle,
+    BundleRecord,
+    BundleWriter,
+    read_bundle,
+    write_bundle,
+)
+from repro.vcs.transfer.frontier import (
+    RefAdvertisement,
+    SyncPlan,
+    advertise_refs,
+    common_tips,
+    negotiate,
+)
+from repro.vcs.transfer.session import (
+    ApplyResult,
+    apply_bundle,
+    create_bundle,
+    plan_bundle,
+    update_refs_from_bundle,
+    verify_bundle,
+)
+
+__all__ = [
+    "Bundle",
+    "BundleRecord",
+    "BundleWriter",
+    "read_bundle",
+    "write_bundle",
+    "RefAdvertisement",
+    "SyncPlan",
+    "advertise_refs",
+    "common_tips",
+    "negotiate",
+    "ApplyResult",
+    "apply_bundle",
+    "create_bundle",
+    "plan_bundle",
+    "update_refs_from_bundle",
+    "verify_bundle",
+]

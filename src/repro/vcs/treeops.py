@@ -24,6 +24,7 @@ __all__ = [
     "build_tree",
     "build_tree_incremental",
     "build_tree_from_sorted_index",
+    "tree_closure",
     "lookup_path",
     "list_directories",
     "subtree_oid",
@@ -235,6 +236,34 @@ def build_tree_from_sorted_index(
 
     root_oid = build(ROOT)
     return root_oid, new_cache, stats
+
+
+def tree_closure(
+    store: ObjectStore, tree_oid: str, cache: dict[str, frozenset[str]] | None = None
+) -> frozenset[str]:
+    """Every object id reachable from the tree at ``tree_oid`` (itself included).
+
+    ``cache`` memoises the closure per *tree oid*: trees are content-addressed,
+    so two commits sharing an unchanged subtree share its closure, and a walk
+    over many commits of the same history flattens each distinct subtree
+    exactly once instead of once per commit.  The sync subsystem's frontier
+    walker passes one cache across the whole negotiation, which is what makes
+    collecting the objects of a new commit O(changed subtrees), not O(tree).
+    """
+    if cache is None:
+        cache = {}
+    cached = cache.get(tree_oid)
+    if cached is not None:
+        return cached
+    members: set[str] = {tree_oid}
+    for entry in store.get_tree(tree_oid).entries:
+        if entry.is_directory:
+            members |= tree_closure(store, entry.oid, cache)
+        else:
+            members.add(entry.oid)
+    closure = frozenset(members)
+    cache[tree_oid] = closure
+    return closure
 
 
 def lookup_path(store: ObjectStore, tree_oid: str, path: str) -> tuple[str, str] | None:

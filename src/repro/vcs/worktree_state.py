@@ -64,6 +64,8 @@ class WorktreeState(MutableMapping):
         self._lazy: dict[str, str] = {}
         #: The object store lazy entries fault their bytes from.
         self._source = None
+        #: A gc pin on the source store covering the lazy oids (see below).
+        self._lease = None
         self._sorted_paths: list[str] = []
         #: Implicit directory path → number of files anywhere beneath it.
         self._dir_counts: dict[str, int] = {}
@@ -98,6 +100,7 @@ class WorktreeState(MutableMapping):
             # these bytes (the path stays indexed — only the value changes).
             del self._lazy[path]
             self._fingerprints.pop(path, None)
+            self._maybe_release_lease()
         elif path not in self._files:
             sorted_insert(self._sorted_paths, path)
             self._index_directories(path, +1)
@@ -109,6 +112,7 @@ class WorktreeState(MutableMapping):
     def __delitem__(self, path: str) -> None:
         if path in self._lazy:
             del self._lazy[path]
+            self._maybe_release_lease()
         else:
             del self._files[path]
         sorted_remove(self._sorted_paths, path)
@@ -148,6 +152,7 @@ class WorktreeState(MutableMapping):
     def clear(self) -> None:
         self._files.clear()
         self._lazy.clear()
+        self._release_lease()
         self._source = None
         self._sorted_paths.clear()
         self._dir_counts.clear()
@@ -181,6 +186,7 @@ class WorktreeState(MutableMapping):
             self._stored.discard(path)
         self._files.update(mapping)
         self._sorted_paths = sorted(self._all_paths())
+        self._maybe_release_lease()
 
     def _all_paths(self) -> list[str]:
         return [*self._files, *self._lazy]
@@ -191,6 +197,50 @@ class WorktreeState(MutableMapping):
     def source(self):
         """The object store unmaterialised entries read their bytes from."""
         return self._source
+
+    @property
+    def lease(self):
+        """The live gc pin on the backing store, or ``None``.
+
+        A worktree with unmaterialised entries holds a
+        :class:`~repro.vcs.object_store.StoreLease` on its source store so
+        ``gc`` cannot drop blobs it may still fault — the sharp edge being a
+        worktree adopted by *another* repository, whose oids no reachability
+        walk over the donor's refs can see.  The lease is released as soon as
+        no lazy entry remains (full materialisation, clear/replace), and the
+        store's weak registry drops it automatically if the worktree itself
+        is discarded.
+        """
+        return self._lease
+
+    def release_lease(self) -> None:
+        """Drop this worktree's gc pin on its backing store (idempotent).
+
+        The repository calls this when it replaces a worktree wholesale
+        (checkout, merge, adoption): the outgoing state will no longer fault
+        on the repository's behalf, and any *adopted* copy of it holds its
+        own lease, so the pin can be returned deterministically instead of
+        waiting for garbage collection.
+        """
+        self._release_lease()
+
+    def _acquire_lease(self) -> None:
+        self._release_lease()
+        if self._lazy and self._source is not None:
+            pin = getattr(self._source, "pin", None)
+            if pin is not None:
+                self._lease = pin(self._lazy.values())
+
+    def _release_lease(self) -> None:
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
+
+    def _maybe_release_lease(self) -> None:
+        # The lease exists for the sake of unmaterialised entries only; the
+        # moment none remain, the store owes this worktree nothing.
+        if self._lease is not None and not self._lazy:
+            self._release_lease()
 
     def lazy_count(self) -> int:
         """How many entries have not materialised their bytes yet."""
@@ -205,6 +255,7 @@ class WorktreeState(MutableMapping):
         del self._lazy[path]
         self._files[path] = data
         self.materialize_count += 1
+        self._maybe_release_lease()
         return data
 
     def materialize_all(self) -> int:
@@ -223,6 +274,7 @@ class WorktreeState(MutableMapping):
         count = len(self._lazy)
         self.materialize_count += count
         self._lazy.clear()
+        self._release_lease()
         return count
 
     def detached_copy(self) -> "WorktreeState":
@@ -242,6 +294,11 @@ class WorktreeState(MutableMapping):
         clone._sorted_dirs = list(self._sorted_dirs)
         clone._fingerprints = dict(self._fingerprints)
         clone._stored = set(self._stored)
+        # The copy holds its *own* pin on the donor store: the adopter may
+        # outlive the original worktree (and the original releases its lease
+        # independently, e.g. by being replaced on the donor's next
+        # checkout), so the borrowed oids must stay gc-safe either way.
+        clone._acquire_lease()
         return clone
 
     def materialize_unstored(self) -> int:
@@ -263,6 +320,7 @@ class WorktreeState(MutableMapping):
             self._files[path] = blobs[oid].data
             del self._lazy[path]
         self.materialize_count += len(wanted)
+        self._maybe_release_lease()
         return len(wanted)
 
     def materialized_bytes(self, path: str, oid: str) -> bytes | None:
@@ -315,6 +373,7 @@ class WorktreeState(MutableMapping):
         self._stored = set(fingerprints)
         self._sorted_paths = sorted(self._all_paths())
         self._rebuild_directory_index()
+        self._acquire_lease()
 
     # -- directory index ---------------------------------------------------
 
@@ -480,6 +539,11 @@ class WorktreeState(MutableMapping):
                 self._fingerprints[new_path] = oid
                 if stored:
                     self._stored.add(new_path)
+        # The delete phase may have emptied the lazy set transiently (and
+        # released the gc lease) before the insert phase re-installed lazy
+        # entries; those survivors must stay pinned against a donor-store gc.
+        if self._lazy and self._lease is None:
+            self._acquire_lease()
 
     def load_committed(self, entries: Iterable[tuple[str, bytes, str]]) -> None:
         """Replace the content with ``(path, data, blob oid)`` triples whose

@@ -161,3 +161,94 @@ class TestGitLevelCommands:
     def test_unknown_branch_merge_fails_cleanly(self, project, capsys):
         assert run("merge-cite", "-C", str(project), "no-such-branch") == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBundleCommands:
+    def _other_copy(self, tmp_path):
+        directory = tmp_path / "other"
+        directory.mkdir()
+        (directory / "seed.txt").write_text("other seed\n")
+        assert run("init", "-C", str(directory), "--owner", "alice", "--name", "proj") == 0
+        return directory
+
+    def test_create_verify_unbundle_round_trip(self, project, tmp_path, capsys):
+        bundle_file = tmp_path / "proj.bundle"
+        assert run("bundle", "create", "-C", str(project), str(bundle_file)) == 0
+        assert "object(s)" in capsys.readouterr().out
+        assert bundle_file.is_file()
+
+        assert run("bundle", "verify", "-C", str(project), str(bundle_file)) == 0
+        assert "is valid" in capsys.readouterr().out
+        # Standalone verification (no working copy around the file) also works.
+        assert run("bundle", "verify", "-C", str(tmp_path), str(bundle_file)) == 0
+        assert "standalone" in capsys.readouterr().out
+
+        target = tmp_path / "restored"
+        target.mkdir()
+        assert run("init", "-C", str(target), "--owner", "alice", "--name", "proj",
+                   "--allow-empty") == 0
+        assert run("bundle", "unbundle", "-C", str(target), str(bundle_file),
+                   "--force") == 0
+        out = capsys.readouterr().out
+        assert "refs updated" in out
+        source = load_repository(project)
+        restored = load_repository(target)
+        assert restored.head_oid() == source.head_oid()
+        assert restored.read_file("/src/engine.py") == source.read_file("/src/engine.py")
+
+    def test_thin_bundle_with_basis(self, project, tmp_path, capsys):
+        base = load_repository(project).head_oid()
+        (project / "new.txt").write_text("incremental\n")
+        assert run("commit", "-C", str(project), "-m", "add new.txt") == 0
+        bundle_file = tmp_path / "thin.bundle"
+        assert run("bundle", "create", "-C", str(project), str(bundle_file),
+                   "--basis", base) == 0
+        assert "thin against 1 prerequisite(s)" in capsys.readouterr().out
+
+    def test_corrupt_bundle_fails_verify_and_unbundle(self, project, tmp_path, capsys):
+        bundle_file = tmp_path / "proj.bundle"
+        assert run("bundle", "create", "-C", str(project), str(bundle_file)) == 0
+        raw = bundle_file.read_bytes()
+        bundle_file.write_bytes(raw[: len(raw) - 40])  # truncate
+        capsys.readouterr()
+        assert run("bundle", "verify", "-C", str(project), str(bundle_file)) == 1
+        assert "verification failed" in capsys.readouterr().err
+        target = self._other_copy(tmp_path)
+        before = load_repository(target).head_oid()
+        assert run("bundle", "unbundle", "-C", str(target), str(bundle_file)) == 1
+        assert "rejected" in capsys.readouterr().err
+        assert load_repository(target).head_oid() == before
+
+    def test_create_on_empty_repository_fails_cleanly(self, tmp_path, capsys):
+        directory = tmp_path / "empty"
+        directory.mkdir()
+        assert run("init", "-C", str(directory), "--owner", "alice",
+                   "--allow-empty") == 0
+        # --allow-empty makes one commit; bundling a ref that exists is fine,
+        # but an unknown --ref must fail with a one-line error.
+        assert run("bundle", "create", "-C", str(directory),
+                   str(tmp_path / "x.bundle"), "--ref", "no-such-ref") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unbundle_non_fast_forward_is_rejected_cleanly(self, project, tmp_path, capsys):
+        # Diverge: the target copy commits its own work, then tries to apply
+        # a bundle whose 'main' is not a descendant.
+        target = tmp_path / "diverged"
+        import shutil
+
+        shutil.copytree(project, target)
+        (target / "local.txt").write_text("local divergence\n")
+        assert run("commit", "-C", str(target), "-m", "local work") == 0
+        (project / "remote.txt").write_text("remote divergence\n")
+        assert run("commit", "-C", str(project), "-m", "remote work") == 0
+        bundle_file = tmp_path / "diverged.bundle"
+        assert run("bundle", "create", "-C", str(project), str(bundle_file)) == 0
+        before = load_repository(target).head_oid()
+        capsys.readouterr()
+        assert run("bundle", "unbundle", "-C", str(target), str(bundle_file)) == 1
+        assert "rejected" in capsys.readouterr().err
+        assert load_repository(target).head_oid() == before
+        # --force applies it.
+        assert run("bundle", "unbundle", "-C", str(target), str(bundle_file),
+                   "--force") == 0
+        assert load_repository(target).head_oid() == load_repository(project).head_oid()

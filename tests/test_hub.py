@@ -343,3 +343,158 @@ class TestStorageCorruptionSurfaces:
             platform.get_file("alice/ondisk", "/data/readme.txt", ref="no-such-branch")
         assert platform.path_exists("alice/ondisk", "/data/nope.txt") is False
         assert platform.path_exists("alice/ondisk", "/x", ref="no-such-branch") is False
+
+
+class TestGitWireEndpoints:
+    """The sync subsystem over the REST API: refs, upload-pack, receive-pack."""
+
+    @pytest.fixture
+    def api(self, platform) -> RestApi:
+        return RestApi(platform)
+
+    @staticmethod
+    def _wire_clone(api, slug, token=None, owner="carol"):
+        """Clone over the wire endpoints only (no platform-object access)."""
+        from repro.vcs.transfer import apply_bundle, update_refs_from_bundle
+
+        refs = api.get(f"/repos/{slug}/git/refs", token=token).json
+        wants = [entry["sha"] for entry in refs["branches"]]
+        response = api.post(f"/repos/{slug}/git/upload-pack", {"wants": wants}, token=token)
+        assert response.ok
+        data = base64.b64decode(response.json["bundle"])
+        local = Repository.init("clone", owner, default_branch=refs["default_branch"])
+        result = apply_bundle(local.store, data)
+        update_refs_from_bundle(local, result.bundle)
+        return local, refs
+
+    @staticmethod
+    def _push_bundle(local, haves):
+        from repro.vcs.transfer import advertise_refs, create_bundle
+
+        data = create_bundle(
+            local.store, [local.head_oid()], haves=haves, refs=advertise_refs(local)
+        )
+        return {"bundle": base64.b64encode(data).decode("ascii")}
+
+    def test_refs_advertisement_shape(self, api, platform):
+        response = api.get("/repos/alice/demo/git/refs")
+        assert response.ok
+        body = response.json
+        hosted = platform.get_repository("alice/demo")
+        assert body["default_branch"] == hosted.default_branch
+        names = {entry["name"]: entry["sha"] for entry in body["branches"]}
+        assert names == hosted.repo.branches()
+        assert body["head"]["sha"] == hosted.repo.head_oid()
+
+    def test_wire_clone_matches_platform_clone(self, api, platform):
+        local, refs = self._wire_clone(api, "alice/demo")
+        hosted = platform.get_repository("alice/demo")
+        assert local.head_oid() == hosted.repo.head_oid()
+        assert local.snapshot() == hosted.repo.snapshot()
+
+    def test_wire_incremental_push_transfers_only_new_objects(self, api, platform, alice_token):
+        local, refs = self._wire_clone(api, "alice/demo", owner="alice")
+        local.write_file("wire.txt", "pushed over the wire\n")
+        tip = local.commit("wire push")
+        haves = [entry["sha"] for entry in refs["branches"]]
+        response = api.post(
+            "/repos/alice/demo/git/receive-pack",
+            self._push_bundle(local, haves),
+            token=alice_token,
+        )
+        assert response.ok, response.json
+        hosted = platform.get_repository("alice/demo")
+        branch = refs["default_branch"]
+        assert response.json["updated"][branch] == tip
+        assert hosted.repo.head_oid() == tip
+        # Thin bundle: one commit, the new blob and the dirty tree chain.
+        assert response.json["objects_in_bundle"] <= 5
+        assert hosted.repo.read_file_at(tip, "/wire.txt") == b"pushed over the wire\n"
+
+    def test_receive_pack_requires_write_permission(self, api, platform, bob_token):
+        local, refs = self._wire_clone(api, "alice/demo", owner="bob")
+        local.write_file("nope.txt", "n")
+        local.commit("unauthorised")
+        payload = self._push_bundle(local, [entry["sha"] for entry in refs["branches"]])
+        assert api.post("/repos/alice/demo/git/receive-pack", payload).status == 401
+        assert api.post("/repos/alice/demo/git/receive-pack", payload, token=bob_token).status == 403
+        # And a read-capable collaborator is still not enough.
+        platform.add_collaborator("alice/demo", "bob", Permission.READ)
+        assert api.post("/repos/alice/demo/git/receive-pack", payload, token=bob_token).status == 403
+
+    def test_receive_pack_rejects_corrupt_bundle_untouched(self, api, platform, alice_token):
+        local, refs = self._wire_clone(api, "alice/demo", owner="alice")
+        local.write_file("wire.txt", "will be corrupted\n")
+        local.commit("doomed")
+        payload = self._push_bundle(local, [entry["sha"] for entry in refs["branches"]])
+        raw = base64.b64decode(payload["bundle"])
+        position = len(raw) * 2 // 3
+        corrupted = raw[:position] + bytes([raw[position] ^ 0x55]) + raw[position + 1:]
+        hosted = platform.get_repository("alice/demo")
+        head_before = hosted.repo.head_oid()
+        objects_before = set(hosted.repo.store.iter_oids())
+        response = api.post(
+            "/repos/alice/demo/git/receive-pack",
+            {"bundle": base64.b64encode(corrupted).decode("ascii")},
+            token=alice_token,
+        )
+        assert response.status == 422
+        assert hosted.repo.head_oid() == head_before
+        assert set(hosted.repo.store.iter_oids()) == objects_before
+        # Malformed base64 is also a 422, not a crash.
+        assert api.post(
+            "/repos/alice/demo/git/receive-pack", {"bundle": "!!!"}, token=alice_token
+        ).status == 422
+
+    def test_receive_pack_rejects_non_fast_forward(self, api, platform, alice_token):
+        local, refs = self._wire_clone(api, "alice/demo", owner="alice")
+        hosted = platform.get_repository("alice/demo")
+        hosted.repo.write_file("server-side.txt", "advanced\n")
+        server_tip = hosted.repo.commit("server advances")
+        local.write_file("diverged.txt", "d")
+        local.commit("diverged")
+        payload = self._push_bundle(local, [entry["sha"] for entry in refs["branches"]])
+        response = api.post(
+            "/repos/alice/demo/git/receive-pack", payload, token=alice_token
+        )
+        assert response.status == 422
+        assert hosted.repo.head_oid() == server_tip
+        forced = dict(payload)
+        forced["force"] = True
+        response = api.post(
+            "/repos/alice/demo/git/receive-pack", forced, token=alice_token
+        )
+        assert response.ok
+        assert hosted.repo.head_oid() == local.head_oid()
+
+    def test_upload_pack_validates_wants(self, api, alice_token):
+        assert api.post(
+            "/repos/alice/demo/git/upload-pack", {"wants": []}, token=alice_token
+        ).status == 422
+        assert api.post(
+            "/repos/alice/demo/git/upload-pack", {"wants": ["no-such-ref"]}, token=alice_token
+        ).status == 404
+
+    def test_wire_endpoints_are_rate_limited(self, platform, alice_token):
+        platform.rate_limiter = RateLimiter(authenticated_limit=2)
+        api = RestApi(platform)
+        assert api.get("/repos/alice/demo/git/refs", token=alice_token).ok
+        assert api.get("/repos/alice/demo/git/refs", token=alice_token).ok
+        response = api.post(
+            "/repos/alice/demo/git/receive-pack", {"bundle": ""}, token=alice_token
+        )
+        assert response.status == 429
+
+    def test_upload_pack_rejects_non_string_wants_and_haves(self, api, alice_token):
+        refs = api.get("/repos/alice/demo/git/refs", token=alice_token).json
+        tip = refs["branches"][0]["sha"]
+        assert api.post(
+            "/repos/alice/demo/git/upload-pack",
+            {"wants": [tip], "haves": [["not", "a", "string"]]},
+            token=alice_token,
+        ).status == 422
+        assert api.post(
+            "/repos/alice/demo/git/upload-pack",
+            {"wants": [42]},
+            token=alice_token,
+        ).status == 422
