@@ -49,10 +49,12 @@ from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes  # n
 from repro.cli.storage import load_repository, save_repository  # noqa: E402
 from repro.citation.retro import AttributionIndex, FileAttribution  # noqa: E402
 from repro.utils.hashing import object_id  # noqa: E402
+from repro.utils.jsonutil import stable_loads  # noqa: E402
 from repro.utils.paths import ROOT, is_ancestor, path_parent  # noqa: E402
 from repro.utils.timeutil import FixedClock, reset_clock, set_clock  # noqa: E402
+from repro.vcs.fsck import fsck_working_copy  # noqa: E402
 from repro.vcs.object_store import ObjectStore  # noqa: E402
-from repro.vcs.objects import MODE_FILE, Blob, Commit, Signature  # noqa: E402
+from repro.vcs.objects import MODE_FILE, Blob, Commit, Signature, deserialize_object  # noqa: E402
 from repro.vcs.merge import commit_ancestors  # noqa: E402
 from repro.vcs.remote import clone_repository, sync_objects  # noqa: E402
 from repro.vcs.transfer import apply_bundle, common_tips, create_bundle  # noqa: E402
@@ -894,6 +896,102 @@ def bench_pull_after_divergence(num_files: int = 3000, new_commits: int = 5) -> 
     }
 
 
+# ---------------------------------------------------------------------------
+# Durability scenarios (PR 6)
+# ---------------------------------------------------------------------------
+
+
+def bench_fsck(num_files: int = 5000, history_commits: int = 6) -> dict:
+    """Full-integrity audit of a 5k-file pack store: random access vs fsck.
+
+    Before ``gitcite fsck`` existed, auditing a working copy meant the only
+    read path available: open the backend, random-access read every oid and
+    re-hash it, then walk the ref graph object by object to prove
+    connectivity — every record paying an index lookup, a seek and a header
+    parse, and every commit/tree read a second time by the walk.
+    ``fsck_working_copy`` replaces that with one sequential tolerant pass
+    per pack (each byte read once, payloads kept for the graph walk) and is
+    the recovery path, so it must stay fast enough to run routinely.  Both
+    sides verify the same object set and reach the same reachable set.
+    """
+    signature = Signature(name="alice", email="alice@example.org", timestamp=_STORAGE_STAMP)
+    body = "".join(f"x{i} = {i}\n" for i in range(25))
+    source = Repository.init("bench", "alice")
+    source.write_files(
+        {f"/src/pkg{i % 20}/module_{i}.py": f"# module {i}\n{body}" for i in range(num_files)}
+    )
+    source.commit("initial", author=signature)
+    for round_number in range(history_commits):
+        for slot in range(10):
+            index = (round_number * 10 + slot) % num_files
+            source.write_file(
+                f"/src/pkg{index % 20}/module_{index}.py",
+                f"# module {index} revision {round_number}\n{body}",
+            )
+        source.commit(f"round {round_number}", author=signature)
+
+    holder: dict[str, object] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        working_copy = Path(tmp) / "working-copy"
+        save_repository(clone_repository(source), working_copy, storage="pack")
+        state = stable_loads(
+            (working_copy / ".gitcite" / "state.json").read_text(encoding="utf-8")
+        )
+        tips = [oid for oid in (state.get("branches") or {}).values()]
+
+        def run_baseline():
+            backend = PackBackend(working_copy / ".gitcite" / "pack")
+            verified: set[str] = set()
+            for oid in sorted(backend.iter_oids()):
+                type_name, payload = backend.read(oid)
+                if object_id(type_name, payload) == oid:
+                    verified.add(oid)
+            # Connectivity: DFS from every ref tip through the read path.
+            reachable: set[str] = set()
+            frontier = [tip for tip in tips]
+            while frontier:
+                oid = frontier.pop()
+                if oid in reachable:
+                    continue
+                reachable.add(oid)
+                type_name, payload = backend.read(oid)
+                obj = deserialize_object(type_name, payload)
+                if type_name == "commit":
+                    frontier.append(obj.tree_oid)
+                    frontier.extend(obj.parent_oids)
+                elif type_name == "tree":
+                    frontier.extend(entry.oid for entry in obj.entries)
+            backend.close()
+            holder["baseline_verified"] = verified
+            holder["baseline_reachable"] = reachable
+
+        baseline_s = _timed(run_baseline)
+
+        def run_optimized():
+            holder["report"] = fsck_working_copy(working_copy)
+
+        optimized_s = _timed(run_optimized)
+
+    report = holder["report"]
+    verified = holder["baseline_verified"]
+    reachable = holder["baseline_reachable"]
+    identical = (
+        report.ok
+        and report.objects_checked == len(verified)
+        and reachable <= verified
+        and not report.unrecoverable
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "objects_audited": report.objects_checked,
+        "files": num_files,
+        "commits": history_commits + 1,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -909,6 +1007,7 @@ SCENARIOS = {
     "checkout_5k_switch": bench_checkout_switch,
     "push_incremental_5k": bench_push_incremental,
     "pull_after_divergence": bench_pull_after_divergence,
+    "fsck_5k": bench_fsck,
 }
 
 

@@ -1,0 +1,47 @@
+"""The ``gitcite fsck`` command: audit (and repair) a working copy's store.
+
+Thin presentation layer over :func:`repro.vcs.fsck.fsck_working_copy`: print
+every finding, the repair actions taken, and the unrecoverable losses with
+the refs they strand; exit 0 only when the final state is healthy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import CLIError
+from repro.vcs.fsck import fsck_working_copy
+
+__all__ = ["cmd_fsck"]
+
+
+def _print(message: str = "") -> None:
+    sys.stdout.write(message + "\n")
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Check every object, index, ref and citation file; optionally repair."""
+    report = fsck_working_copy(args.directory, repair=args.repair)
+    if report.storage is None and not report.findings:
+        raise CLIError(f"{args.directory} is not a gitcite working copy")
+    for action in report.repaired:
+        _print(f"repaired: {action}")
+    for finding in report.findings:
+        _print(str(finding))
+    if report.unrecoverable:
+        _print(f"{len(report.unrecoverable)} unrecoverable object(s):")
+        for oid, refs in report.unrecoverable.items():
+            _print(f"  {oid} (strands {', '.join(refs)})")
+    summary = (
+        f"checked {report.objects_checked} object(s), {report.packs_checked} pack(s), "
+        f"{report.refs_checked} ref(s), {report.citations_checked} citation file(s)"
+    )
+    if report.ok:
+        _print(f"ok: {summary}")
+        return 0
+    errors = len(report.errors())
+    _print(f"corrupt: {errors} error(s); {summary}")
+    if not args.repair:
+        _print("hint: run 'gitcite fsck --repair' to quarantine damage and rebuild indexes")
+    return 1

@@ -9,7 +9,7 @@ from typing import Optional, Sequence
 from repro.errors import CLIError, ReproError
 from repro.citation.conflict import available_strategies
 from repro.formats import available_formats
-from repro.cli import bundle, commands, storage
+from repro.cli import bundle, commands, fsck, storage
 from repro.vcs.storage import backend_kinds
 
 __all__ = ["build_parser", "main"]
@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--repair", action="store_true", help="apply unambiguous repairs")
     p.set_defaults(func=commands.cmd_validate)
+
+    p = sub.add_parser("fsck", help="verify store integrity (objects, indexes, refs, citations)")
+    _add_common(p)
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt objects/packs, salvage what verifies, rebuild indexes")
+    p.set_defaults(func=fsck.cmd_fsck)
 
     p = sub.add_parser("storage", help="object-store maintenance (repack / gc / migrate)")
     storage_sub = p.add_subparsers(dest="storage_command", required=True)

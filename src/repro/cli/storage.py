@@ -32,6 +32,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import CLIError, StorageError
+from repro.utils import atomicio
 from repro.utils.jsonutil import pretty_dumps, stable_loads
 from repro.vcs.ignore import IgnoreRules
 from repro.vcs.repository import Repository
@@ -143,7 +144,14 @@ def _write_state(repo: Repository, root: Path, kind: str) -> Path:
             }
             for oid in repo.store.object_ids()
         }
-    state_path.write_text(pretty_dumps(state) + "\n", encoding="utf-8")
+    # state.json is the working copy's source of truth (for the memory
+    # layout it *is* the object store) — the write must be crash-atomic and
+    # durable: temp + rename so no reader ever sees a torn file, fsync so a
+    # power cut after "saved" cannot roll the refs (or the objects) back.
+    atomicio.atomic_write_text(
+        state_path, pretty_dumps(state) + "\n",
+        durable=True, failpoint="state.save",
+    )
     return state_path
 
 
@@ -200,6 +208,9 @@ def load_repository(directory: str | os.PathLike[str],
         raise CLIError(
             f"{root} is not a gitcite working copy (no {STATE_DIR}/{STATE_FILE}); run 'gitcite init'"
         )
+    # A crashed earlier save can leave a torn ``.tmp-*`` next to state.json;
+    # the rename never happened, so the file is garbage by construction.
+    atomicio.sweep_orphan_tmp(state_path.parent)
     try:
         state = stable_loads(state_path.read_text(encoding="utf-8"))
     except ValueError as exc:

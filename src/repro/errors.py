@@ -23,11 +23,14 @@ __all__ = [
     "MergeConflictError",
     "RemoteError",
     "BundleError",
+    "BundleChecksumError",
+    "TransportError",
     "HubError",
     "AuthenticationError",
     "PermissionDeniedError",
     "NotFoundError",
     "ValidationError",
+    "TransferCorruptError",
     "RateLimitExceededError",
     "CitationError",
     "CitationNotFoundError",
@@ -120,6 +123,25 @@ class BundleError(RemoteError):
     """
 
 
+class BundleChecksumError(BundleError):
+    """The bundle *stream* failed its checksum or arrived truncated.
+
+    Distinguished from the semantic :class:`BundleError` cases (bad refs,
+    missing prerequisites) because a checksum failure means the bytes were
+    damaged in flight or on disk — re-reading or re-sending the stream may
+    succeed, so the transport layer treats it as retryable.
+    """
+
+
+class TransportError(RemoteError):
+    """The wire transport itself failed (connection reset, dropped response).
+
+    Always retryable: the failure happened before a well-formed response
+    arrived, so re-issuing the request cannot double-apply anything the
+    server already did — the wire operations are idempotent by design.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Hosting-platform simulator (``repro.hub``)
 # ---------------------------------------------------------------------------
@@ -129,6 +151,10 @@ class HubError(ReproError):
     """Base class for hosting-platform errors."""
 
     status_code: int = 500
+    #: Whether re-sending the identical request can plausibly succeed.
+    #: Surfaced in wire responses so a remote client's retry policy can
+    #: distinguish transient failures from semantic rejections.
+    retryable: bool = False
 
 
 class AuthenticationError(HubError):
@@ -155,10 +181,30 @@ class ValidationError(HubError):
     status_code = 422
 
 
+class TransferCorruptError(ValidationError):
+    """An uploaded bundle was damaged in flight (checksum mismatch).
+
+    Still a 422 — the *request* is bad — but retryable, because the sender
+    holds an intact copy and a re-send may arrive clean.
+    """
+
+    retryable = True
+
+
 class RateLimitExceededError(HubError):
-    """The client exhausted its request quota (HTTP 429)."""
+    """The client exhausted its request quota (HTTP 429).
+
+    ``retry_after`` carries the seconds until the quota window resets, when
+    the limiter can compute it; it is echoed in the wire response so clients
+    can sleep exactly long enough instead of guessing.
+    """
 
     status_code = 429
+    retryable = True
+
+    def __init__(self, message: str = "rate limit exceeded", retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 # ---------------------------------------------------------------------------

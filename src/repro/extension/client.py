@@ -23,6 +23,7 @@ from repro.citation.function import CitationFunction, ResolvedCitation
 from repro.citation.operators import AddCite, DelCite, ModifyCite, apply_operation
 from repro.citation.record import Citation
 from repro.hub.api import RestApi
+from repro.hub.retry import RetryingApi, RetryPolicy
 from repro.utils.paths import normalize_path
 
 __all__ = ["ExtensionClient", "RemoteCitationView"]
@@ -46,10 +47,21 @@ class RemoteCitationView:
 
 
 class ExtensionClient:
-    """The extension's network layer plus citation logic."""
+    """The extension's network layer plus citation logic.
 
-    def __init__(self, api: RestApi, token: Optional[str] = None) -> None:
-        self.api = api
+    Pass ``retry`` (a :class:`~repro.hub.retry.RetryPolicy`) to wrap the API
+    in a :class:`~repro.hub.retry.RetryingApi`: a flaky wire — dropped
+    requests, lost responses, 429s, transient 5xxs — is then retried with
+    backoff instead of surfacing as a popup error on the first hiccup.
+    """
+
+    def __init__(
+        self,
+        api: RestApi,
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.api = RetryingApi(api, policy=retry) if retry is not None else api
         self.token = token
 
     # ------------------------------------------------------------------

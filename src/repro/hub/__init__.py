@@ -12,12 +12,18 @@ offline and deterministic:
   service (accounts, repositories, permissions, forks, contents);
 * :mod:`api` — a REST-shaped façade over the platform with routes, status
   codes and JSON payloads, which is what the browser-extension simulator
-  talks to.
+  talks to;
+* :mod:`retry` — :class:`~repro.hub.retry.RetryingApi`, the fault-tolerant
+  wrapper around the API (backoff, jitter, ``Retry-After``);
+* :mod:`sync` — :class:`~repro.hub.sync.HubRemote`, clone/fetch/pull/push
+  spoken entirely over the three ``git/*`` wire endpoints.
 """
 
 from repro.hub.models import AccessToken, HostedRepository, Permission, User
 from repro.hub.server import HostingPlatform
 from repro.hub.api import ApiResponse, RestApi
+from repro.hub.retry import RetryingApi, RetryPolicy
+from repro.hub.sync import HubRemote
 
 __all__ = [
     "AccessToken",
@@ -27,4 +33,7 @@ __all__ = [
     "HostingPlatform",
     "ApiResponse",
     "RestApi",
+    "RetryingApi",
+    "RetryPolicy",
+    "HubRemote",
 ]

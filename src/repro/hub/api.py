@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro import faults
 from repro.errors import (
     HubError,
     InvalidObjectError,
@@ -88,7 +89,18 @@ class RestApi:
         token: Optional[str] = None,
         payload: Optional[dict] = None,
     ) -> ApiResponse:
-        """Perform a request; errors become status codes instead of exceptions."""
+        """Perform a request; errors become status codes instead of exceptions.
+
+        ``wire.request`` / ``wire.response`` failpoints model the network on
+        either side of the server: an ``error`` armed there surfaces as
+        :class:`TransportError` in the *caller* (the request or response was
+        lost in flight — the server may or may not have acted), which is the
+        exact ambiguity the retry policy plus idempotent endpoints resolve.
+        Error bodies carry ``retryable`` (and ``retry_after`` for 429) so a
+        remote client can make the retry decision without knowing the
+        server's exception hierarchy.
+        """
+        faults.fire("wire.request")
         route = self._parse(method, url)
         try:
             self._check_rate_limit(token, route)
@@ -97,14 +109,23 @@ class RestApi:
             status = 201 if method.upper() in ("POST", "PUT") else 200
             if method.upper() == "DELETE":
                 status = 200
+            faults.fire("wire.response")
             return ApiResponse(status=status, json=body)
         except HubError as exc:
-            return ApiResponse(status=exc.status_code, json={"message": str(exc)})
+            body = {"message": str(exc), "retryable": exc.retryable}
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                body["retry_after"] = retry_after
+            return ApiResponse(status=exc.status_code, json=body)
         except (StorageError, ObjectNotFoundError, InvalidObjectError) as exc:
             # The platform layer deliberately lets storage corruption
             # propagate instead of masking it as a 404; at the REST boundary
-            # that is a server-side failure, not a client error.
-            return ApiResponse(status=500, json={"message": f"internal storage error: {exc}"})
+            # that is a server-side failure, not a client error.  5xx is
+            # retryable by convention: the request itself was well-formed.
+            return ApiResponse(
+                status=500,
+                json={"message": f"internal storage error: {exc}", "retryable": True},
+            )
 
     # Convenience verbs ---------------------------------------------------
 

@@ -2,22 +2,37 @@
 
 The browser extension talks to the platform through authenticated requests;
 GitHub enforces a per-token quota (and a much lower anonymous quota).  The
-simulator reproduces that behaviour deterministically: quotas are counted per
-identity and reset explicitly (benchmarks reset between iterations) rather
-than by wall-clock windows.
+simulator reproduces that behaviour deterministically: quotas are counted
+per identity and reset explicitly (benchmarks reset between iterations), or
+— when a ``clock`` is injected — by rolling time windows, which is what
+lets a retry policy sleep through a 429 and deterministically succeed.
+
+A 429 carries a ``Retry-After`` hint (seconds until the identity's window
+resets) whenever the limiter can compute one, mirroring the HTTP header of
+the same name; without a clock there is no window to wait out, so the hint
+is the full window length.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import RateLimitExceededError
 
-__all__ = ["RateLimiter", "QuotaStatus", "AUTHENTICATED_LIMIT", "ANONYMOUS_LIMIT"]
+__all__ = [
+    "RateLimiter",
+    "QuotaStatus",
+    "AUTHENTICATED_LIMIT",
+    "ANONYMOUS_LIMIT",
+    "DEFAULT_WINDOW_SECONDS",
+]
 
 #: Default request quotas (requests per window), mirroring GitHub's 5000/60.
 AUTHENTICATED_LIMIT = 5000
 ANONYMOUS_LIMIT = 60
+#: Quota window length, mirroring GitHub's hourly reset.
+DEFAULT_WINDOW_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -34,21 +49,54 @@ class QuotaStatus:
 
 
 class RateLimiter:
-    """Per-identity request counting with hard limits."""
+    """Per-identity request counting with hard limits.
+
+    ``clock`` (a zero-arg callable returning seconds, e.g. a fake monotonic
+    clock in tests) enables time-windowed quotas: an identity's counter
+    starts its window at the first counted request and resets once
+    ``window_seconds`` elapse.  Without a clock the limiter keeps the
+    original explicit-reset behaviour.
+    """
 
     def __init__(
         self,
         authenticated_limit: int = AUTHENTICATED_LIMIT,
         anonymous_limit: int = ANONYMOUS_LIMIT,
         enabled: bool = True,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.authenticated_limit = authenticated_limit
         self.anonymous_limit = anonymous_limit
         self.enabled = enabled
+        self.window_seconds = window_seconds
+        self.clock = clock
         self._used: dict[str, int] = {}
+        self._window_start: dict[str, float] = {}
 
     def _limit_for(self, identity: str) -> int:
         return self.anonymous_limit if identity == "anonymous" else self.authenticated_limit
+
+    def _roll_window(self, key: str) -> None:
+        if self.clock is None:
+            return
+        start = self._window_start.get(key)
+        if start is not None and self.clock() - start >= self.window_seconds:
+            self._used.pop(key, None)
+            self._window_start.pop(key, None)
+
+    def retry_after(self, identity: str | None) -> float:
+        """Seconds until ``identity``'s quota window resets.
+
+        With a clock this is exact; without one the window never rolls on
+        its own, so the full window length is the honest upper bound.
+        """
+        key = identity or "anonymous"
+        if self.clock is not None:
+            start = self._window_start.get(key)
+            if start is not None:
+                return max(0.0, self.window_seconds - (self.clock() - start))
+        return self.window_seconds
 
     def check(self, identity: str | None) -> QuotaStatus:
         """Record one request for ``identity`` and return the remaining quota.
@@ -56,26 +104,34 @@ class RateLimiter:
         Raises
         ------
         RateLimitExceededError
-            When the identity has exhausted its quota.
+            When the identity has exhausted its quota.  Carries
+            ``retry_after`` — the seconds until the window resets.
         """
         key = identity or "anonymous"
+        self._roll_window(key)
         used = self._used.get(key, 0)
         limit = self._limit_for(key)
         if self.enabled and used >= limit:
             raise RateLimitExceededError(
-                f"API rate limit exceeded for {key} ({limit} requests); reset the window first"
+                f"API rate limit exceeded for {key} ({limit} requests)",
+                retry_after=self.retry_after(key),
             )
+        if self.clock is not None and key not in self._window_start:
+            self._window_start[key] = self.clock()
         self._used[key] = used + 1
         return QuotaStatus(identity=key, limit=limit, used=used + 1)
 
     def status(self, identity: str | None) -> QuotaStatus:
         """Return the quota status without consuming a request."""
         key = identity or "anonymous"
+        self._roll_window(key)
         return QuotaStatus(identity=key, limit=self._limit_for(key), used=self._used.get(key, 0))
 
     def reset(self, identity: str | None = None) -> None:
         """Reset one identity's counter, or everyone's when ``identity`` is ``None``."""
         if identity is None:
             self._used.clear()
+            self._window_start.clear()
         else:
             self._used.pop(identity, None)
+            self._window_start.pop(identity, None)

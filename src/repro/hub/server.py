@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.errors import (
     AuthenticationError,
+    BundleChecksumError,
     BundleError,
     InvalidObjectError,
     NotFoundError,
@@ -23,6 +24,7 @@ from repro.errors import (
     RefError,
     RemoteError,
     StorageError,
+    TransferCorruptError,
     ValidationError,
     VCSError,
 )
@@ -244,6 +246,10 @@ class HostingPlatform:
         try:
             result = apply_bundle(repo.store, bundle_data)
             updated = update_refs_from_bundle(repo, result.bundle, force=force)
+        except BundleChecksumError as exc:
+            # Stream-level damage, not a semantic rejection: the sender's
+            # copy is intact, so the client is told a re-send may succeed.
+            raise TransferCorruptError(f"bundle damaged in transfer: {exc}") from exc
         except BundleError as exc:
             raise ValidationError(f"rejected bundle: {exc}") from exc
         except RemoteError as exc:

@@ -12,12 +12,12 @@ instead of propagating into trees and commits.
 
 from __future__ import annotations
 
-import os
 import zlib
 from pathlib import Path
 from typing import Iterator
 
 from repro.errors import CorruptObjectError, StorageError
+from repro.utils import atomicio
 from repro.utils.hashing import object_id
 from repro.vcs.storage.base import ObjectBackend
 
@@ -46,6 +46,9 @@ class LooseFileBackend(ObjectBackend):
         except OSError as exc:
             raise StorageError(f"cannot create loose object directory {self.root}: {exc}") from exc
         self._known: set[str] = set()
+        # A ``.tmp-*`` visible at open time is a crashed writer's torn file
+        # (live writes exist only between our own write and its rename).
+        atomicio.sweep_orphan_tmp(self.root, recursive=True)
         self._scan()
 
     def _scan(self) -> None:
@@ -75,9 +78,11 @@ class LooseFileBackend(ObjectBackend):
         compressed = zlib.compress(header + payload)
         target = self._path_for(oid)
         target.parent.mkdir(parents=True, exist_ok=True)
-        temporary = target.parent / f".tmp-{oid[2:]}-{os.getpid()}"
-        temporary.write_bytes(compressed)
-        os.replace(temporary, target)
+        # Atomic but not fsynced, matching git's loose-object durability:
+        # readers never see a torn object, and an object lost to a power cut
+        # before the OS flush is one fsck finds (the ref pointing at it is
+        # only durable once state.json — which *is* fsynced — lands).
+        atomicio.atomic_write_bytes(target, compressed, failpoint="storage.write")
         self._known.add(oid)
         self.mutation_counter += 1
         return True

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import os
 import struct
 import zlib
 from bisect import bisect_left
@@ -58,6 +57,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
 from repro.errors import CorruptObjectError, StorageError
+from repro.utils import atomicio
 from repro.utils.hashing import object_id
 from repro.vcs.storage.base import ObjectBackend
 
@@ -297,9 +297,10 @@ class _PackFile:
         for oid, offset in entries:
             blob += bytes.fromhex(oid)
             blob += struct.pack(">Q", offset)
-        temporary = index_path.with_name(index_path.name + f".tmp-{os.getpid()}")
-        temporary.write_bytes(bytes(blob))
-        os.replace(temporary, index_path)
+        # The idx is a rebuildable cache of its pack, so the write is atomic
+        # (no torn index is ever visible) but not fsynced — losing it to a
+        # power cut costs one pack scan on the next open, not data.
+        atomicio.atomic_write_bytes(index_path, bytes(blob), failpoint="pack.idx")
 
     def _rebuild_index(self) -> None:
         """Recover the index by scanning the pack records sequentially."""
@@ -537,9 +538,7 @@ class _MultiPackIndex:
             blob += bytes.fromhex(oid)
             blob += struct.pack(">IQ", pack_number, offset)
         try:
-            temporary = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
-            temporary.write_bytes(bytes(blob))
-            os.replace(temporary, self.path)
+            atomicio.atomic_write_bytes(self.path, bytes(blob), failpoint="pack.midx")
         except OSError:
             # The midx is a cache; an unwritable one degrades to the
             # in-memory copy for this process and a rebuild next open.
@@ -600,6 +599,10 @@ class PackBackend(ObjectBackend):
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise StorageError(f"cannot create pack directory {self.root}: {exc}") from exc
+        # Orphans from writers that crashed mid-write (torn temp files that
+        # never reached their rename) are garbage by construction: any
+        # ``.tmp-*`` visible at open time has no live writer behind it.
+        atomicio.sweep_orphan_tmp(self.root)
         self._pending: dict[str, tuple[str, bytes]] = {}
         self._pool = _HandlePool(handle_limit)
         self._use_midx = use_midx
@@ -787,23 +790,27 @@ class PackBackend(ObjectBackend):
                 others.append(oid)
         return sorted(others) + [oid for _, oid in sorted(blobs)]
 
-    def _write_pack_stream(self, ordered: list[str], fetch) -> _PackFile:
+    def _write_pack_stream(
+        self, ordered: list[str], fetch, failpoint: str = "storage.flush"
+    ) -> _PackFile:
         """Write one pack (+ index) from ``fetch(oid) → (type, payload)``.
 
         Streaming: each record is compressed and written as it is fetched,
         and only the delta window (≤ ``_DELTA_WINDOW`` full blob payloads)
         is held in memory — repacking a store larger than RAM stays within
-        the layout's own scaling claim.  The pack lands via a temp file +
-        atomic rename, so a crash mid-write leaves no half-pack behind.
+        the layout's own scaling claim.  The pack lands via a fsynced temp
+        file + atomic rename (pack data is source of truth, unlike the
+        rebuildable idx/midx caches), so a crash mid-write leaves no
+        half-pack behind and a completed pack survives a power cut.
         """
         digest = hashlib.sha1("\n".join(sorted(ordered)).encode("ascii")).hexdigest()[:16]
         pack_path = self.root / f"pack-{digest}.pack"
         entries: list[tuple[str, int]] = []
         #: Sliding window of recently written *full* blob payloads.
         window: list[tuple[str, bytes]] = []
-        temporary = pack_path.with_name(pack_path.name + f".tmp-{os.getpid()}")
-        with temporary.open("wb") as handle:
-            handle.write(_PACK_MAGIC)
+        out = atomicio.AtomicFile(pack_path, durable=True, failpoint=failpoint)
+        try:
+            out.write(_PACK_MAGIC)
             for oid in ordered:
                 type_name, payload = fetch(oid)
                 full_compressed = zlib.compress(payload)
@@ -829,10 +836,12 @@ class PackBackend(ObjectBackend):
                         window.append((oid, payload))
                         if len(window) > _DELTA_WINDOW:
                             window.pop(0)
-                entries.append((oid, handle.tell()))
-                handle.write(header.encode("ascii") + b"\n")
-                handle.write(body)
-        os.replace(temporary, pack_path)
+                entries.append((oid, out.tell()))
+                out.write(header.encode("ascii") + b"\n")
+                out.write(body)
+            out.commit()
+        finally:
+            out.close()
         _PackFile.write_index(pack_path.with_suffix(".idx"), entries)
         return _PackFile(pack_path, pool=self._pool)
 
@@ -910,7 +919,11 @@ class PackBackend(ObjectBackend):
 
         ordered = self._delta_order(survivors, describe)
         old_packs = self._packs
-        new_pack = self._write_pack_stream(ordered, self.read) if ordered else None
+        new_pack = (
+            self._write_pack_stream(ordered, self.read, failpoint="pack.repack")
+            if ordered
+            else None
+        )
         for pack in old_packs:
             pack.close()
             if new_pack is not None and pack.path == new_pack.path:

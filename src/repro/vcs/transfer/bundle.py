@@ -36,7 +36,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import BundleError
+from repro import faults
+from repro.errors import BundleChecksumError, BundleError
 from repro.utils.hashing import object_id
 from repro.vcs.storage.pack import (
     _DELTA_HEADER_EXTRA,
@@ -239,21 +240,28 @@ def read_bundle(data: bytes) -> Bundle:
 
     The checksum is validated *first* (it covers every byte before its own
     line), so truncation, trailing garbage and bit-flips are all rejected
-    before any record content is interpreted.
+    before any record content is interpreted.  Stream-level damage raises
+    :class:`BundleChecksumError` (retryable — the sender holds an intact
+    copy); structural violations past the checksum raise plain
+    :class:`BundleError`.
     """
+    # Fault injection for mid-transfer damage: a truncate/flip armed here
+    # mangles the stream exactly as a lossy wire would, and must be caught
+    # by the checksum below, never by a parser crash.
+    data = faults.corrupt("bundle.read", data)
     if not data.startswith(_BUNDLE_MAGIC):
-        raise BundleError("not a bundle: bad magic")
+        raise BundleChecksumError("not a bundle: bad magic")
     # The trailer is fixed-width: "checksum " + 40 hex chars + "\n".
     trailer_length = len("checksum ") + 40 + 1
     if len(data) < len(_BUNDLE_MAGIC) + trailer_length:
-        raise BundleError("truncated bundle: missing checksum trailer")
+        raise BundleChecksumError("truncated bundle: missing checksum trailer")
     trailer = data[-trailer_length:]
     if not trailer.startswith(b"checksum ") or not trailer.endswith(b"\n"):
-        raise BundleError("truncated bundle: missing checksum trailer")
+        raise BundleChecksumError("truncated bundle: missing checksum trailer")
     declared = trailer[len(b"checksum "):-1].decode("ascii", errors="replace")
     actual = hashlib.sha1(data[:-trailer_length]).hexdigest()
     if declared != actual:
-        raise BundleError("bundle checksum mismatch (corrupt or truncated stream)")
+        raise BundleChecksumError("bundle checksum mismatch (corrupt or truncated stream)")
 
     body = data[:-trailer_length]
     cursor = len(_BUNDLE_MAGIC)

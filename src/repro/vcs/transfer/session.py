@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import BundleError, RefError, RemoteError
 from repro.vcs.object_store import ObjectStore
 from repro.vcs.objects import deserialize_object
@@ -163,8 +164,24 @@ def apply_bundle(store: ObjectStore, data) -> ApplyResult:
     backend's batched raw path.
     """
     bundle = data if isinstance(data, Bundle) else read_bundle(data)
+    # Idempotency fast path: a re-sent bundle whose every object the store
+    # already holds (the retry of a push whose first attempt landed but
+    # whose response was lost) is a no-op success — no re-materialisation,
+    # no writes, nothing to double-apply.  Record identity is enough: each
+    # record names its oid, and an oid already present was verified when it
+    # first landed.
+    if all(record.oid in store for record in bundle.records):
+        return ApplyResult(
+            bundle=bundle,
+            objects_total=bundle.object_count,
+            objects_added=0,
+            added_oids=frozenset(),
+        )
     objects = verify_bundle(store, bundle)
     missing = [oid for oid in objects if oid not in store]
+    # The window between full verification and the first write — a crash
+    # armed here models dying with the bundle accepted but not yet applied.
+    faults.fire("bundle.apply")
     added = store.put_raw_many(
         (oid, objects[oid][0], objects[oid][1]) for oid in missing
     )

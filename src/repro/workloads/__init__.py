@@ -6,16 +6,20 @@
   its CopyCite'd CoreCover subtree and MergeCite'd GUI branch), and the
   hosted setting used by the Figure 2 browser-extension walkthrough.
 * :mod:`generator` — seeded synthetic repositories, citation functions,
-  branch pairs and operation traces used by the scalability and ablation
-  benchmarks (the paper itself reports no numbers, so these define the
-  workloads for the EXTRA-* experiments in DESIGN.md).
+  branch pairs, operation traces and fleet fault schedules used by the
+  scalability, ablation and durability benchmarks (the paper itself reports
+  no numbers, so these define the workloads for the EXTRA-* experiments in
+  DESIGN.md).
 """
 
 from repro.workloads.generator import (
+    FaultEvent,
+    FleetFaultSchedule,
     SyntheticWorkload,
     WorkloadConfig,
     generate_branch_pair,
     generate_citation,
+    generate_fault_schedule,
     generate_operation_trace,
     generate_repository,
     generate_tree_paths,
@@ -31,10 +35,13 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "FaultEvent",
+    "FleetFaultSchedule",
     "SyntheticWorkload",
     "WorkloadConfig",
     "generate_branch_pair",
     "generate_citation",
+    "generate_fault_schedule",
     "generate_operation_trace",
     "generate_repository",
     "generate_tree_paths",

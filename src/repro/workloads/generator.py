@@ -6,6 +6,12 @@ project trees of controlled size and depth, citation functions of controlled
 density, branch pairs with controlled conflict rates, and operator traces.
 Everything is driven by :class:`random.Random` seeded from the workload
 configuration, so benchmark runs are reproducible.
+
+The fault-injection additions (PR 6) extend the same discipline to failure
+testing: :func:`generate_fault_schedule` deals every member of a simulated
+fleet its own deterministic :class:`FaultEvent` list — which failpoint dies,
+on which hit, with which action — so a durability sweep over many clients
+replays bit-identically from one seed.
 """
 
 from __future__ import annotations
@@ -15,10 +21,12 @@ from dataclasses import dataclass
 from datetime import datetime, timedelta, timezone
 from typing import Literal, Optional
 
+from repro import faults
 from repro.citation.function import CitationFunction
 from repro.citation.manager import CitationManager
 from repro.citation.operators import AddCite, DelCite, GenCite, ModifyCite
 from repro.citation.record import Citation
+from repro.errors import TransportError
 from repro.utils.paths import ROOT, path_parent
 from repro.vcs.repository import Repository
 
@@ -26,6 +34,10 @@ __all__ = [
     "WorkloadConfig",
     "SyntheticWorkload",
     "BranchPairWorkload",
+    "FaultEvent",
+    "FleetFaultSchedule",
+    "STORAGE_FAILPOINTS",
+    "WIRE_FAILPOINTS",
     "generate_tree_paths",
     "generate_citation",
     "generate_citation_function",
@@ -33,6 +45,7 @@ __all__ = [
     "generate_branch_pair",
     "generate_operation_trace",
     "generate_history",
+    "generate_fault_schedule",
 ]
 
 _FIRST_NAMES = ("Ada", "Chen", "Dana", "Edgar", "Grace", "Leshang", "Susan", "Wei", "Yinjun", "Yan")
@@ -284,6 +297,124 @@ def generate_branch_pair(
         ours_only_paths=sorted(ours_only),
         theirs_only_paths=sorted(theirs_only),
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet fault schedules
+# ---------------------------------------------------------------------------
+
+#: Failpoints on the durable-write path (see :mod:`repro.utils.atomicio`).
+STORAGE_FAILPOINTS = (
+    "pack.idx",
+    "pack.midx",
+    "pack.repack",
+    "state.save",
+    "storage.flush",
+    "storage.write",
+)
+
+#: Failpoints on the transfer path (REST wire plus the bundle pipeline).
+WIRE_FAILPOINTS = (
+    "bundle.apply",
+    "bundle.read",
+    "wire.request",
+    "wire.response",
+)
+
+#: The action kinds each failpoint can meaningfully carry: durable writes
+#: honour the full payload semantics; ``bundle.read`` is a data point whose
+#: damaged bytes the checksums must catch; the remaining wire points are
+#: pure control points (crash or raise).
+_FAILPOINT_ACTIONS: dict[str, tuple[str, ...]] = {
+    **{name: ("crash", "truncate", "flip") for name in STORAGE_FAILPOINTS},
+    "bundle.read": ("crash", "error", "truncate", "flip"),
+    "bundle.apply": ("crash", "error"),
+    "wire.request": ("crash", "error"),
+    "wire.response": ("crash", "error"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *this* fleet member dies *here*, *this* way."""
+
+    member: int
+    failpoint: str
+    action: str
+    #: 1-based hit index of ``failpoint`` at which the action triggers.
+    at: int
+    #: ``truncate``: payload bytes allowed through before the torn stop.
+    keep: int = 0
+    #: ``flip``: byte offset corrupted in the payload.
+    offset: int = 0
+
+    def arm(self, error=None):
+        """Arm this event in the process-global fault registry (once).
+
+        ``error`` overrides the exception factory for ``error`` actions;
+        the default models a dropped connection (:class:`TransportError`),
+        which is what the retrying transport is expected to absorb.
+        """
+        kwargs: dict = {"at": self.at, "times": 1}
+        if self.action == "truncate":
+            kwargs["keep"] = self.keep
+        elif self.action == "flip":
+            kwargs["offset"] = self.offset
+        elif self.action == "error":
+            failpoint = self.failpoint
+            kwargs["error"] = error or (
+                lambda: TransportError(f"injected fault at {failpoint}")
+            )
+        return faults.arm(self.failpoint, action=self.action, **kwargs)
+
+
+@dataclass(frozen=True)
+class FleetFaultSchedule:
+    """A deterministic deal of fault events across a simulated fleet."""
+
+    seed: int
+    fleet_size: int
+    events: tuple[FaultEvent, ...]
+
+    def for_member(self, member: int) -> tuple[FaultEvent, ...]:
+        return tuple(event for event in self.events if event.member == member)
+
+
+def generate_fault_schedule(
+    config: WorkloadConfig,
+    fleet_size: int = 4,
+    faults_per_member: int = 2,
+    failpoints: Optional[tuple[str, ...]] = None,
+    max_hit: int = 4,
+    max_keep: int = 64,
+    max_offset: int = 512,
+    seed_offset: int = 4,
+) -> FleetFaultSchedule:
+    """Deal every fleet member ``faults_per_member`` deterministic faults.
+
+    A durability sweep runs the same workload once per member, arming that
+    member's events before the run and asserting recovery afterwards; the
+    whole fleet — sites, hit indexes, torn-write lengths, flipped offsets —
+    replays identically from ``config.seed``.
+    """
+    rng = random.Random(config.seed + seed_offset)
+    sites = failpoints or (STORAGE_FAILPOINTS + WIRE_FAILPOINTS)
+    unknown = [site for site in sites if site not in _FAILPOINT_ACTIONS]
+    if unknown:
+        raise ValueError(f"unknown failpoints: {unknown}")
+    events = []
+    for member in range(fleet_size):
+        for _ in range(faults_per_member):
+            failpoint = rng.choice(sites)
+            events.append(FaultEvent(
+                member=member,
+                failpoint=failpoint,
+                action=rng.choice(_FAILPOINT_ACTIONS[failpoint]),
+                at=rng.randint(1, max_hit),
+                keep=rng.randint(0, max_keep),
+                offset=rng.randint(0, max_offset),
+            ))
+    return FleetFaultSchedule(seed=config.seed, fleet_size=fleet_size, events=tuple(events))
 
 
 # ---------------------------------------------------------------------------

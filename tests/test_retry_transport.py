@@ -1,0 +1,314 @@
+"""Retrying wire transport: backoff policy, retry classification, convergence.
+
+The acceptance bar from the durability PR: an interrupted push, retried,
+converges to exactly the state of an uninterrupted one — zero duplicate
+objects, zero lost ref updates — whether the request died on the way in
+(server never acted) or the response died on the way out (server already
+acted).  Plus the policy mechanics: exponential backoff with deterministic
+seeded jitter, 429 ``retry_after`` honoured as a floor, 5xx and
+``retryable`` bodies retried, semantic rejections returned immediately, and
+a :class:`SimulatedCrash` never absorbed by the retry loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    RemoteError,
+    TransportError,
+    ValidationError,
+)
+from repro.extension.client import ExtensionClient
+from repro.faults import SimulatedCrash
+from repro.hub import HostingPlatform, HubRemote, RestApi, RetryingApi, RetryPolicy
+from repro.hub.ratelimit import RateLimiter
+from repro.vcs.remote import clone_repository
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _platform(limiter: RateLimiter | None = None):
+    platform = HostingPlatform(rate_limiter=limiter)
+    platform.register_user("alice")
+    token = platform.issue_token("alice").value
+    repo = platform.create_repository("alice", "proj").repo
+    repo.write_file("/a.txt", b"hello")
+    repo.commit("c0", author_name="alice")
+    return platform, token, repo
+
+
+def _remote(platform, token, **policy_kwargs):
+    policy = RetryPolicy(jitter=0.0, base_delay=0.001, **policy_kwargs)
+    api = RetryingApi(RestApi(platform), policy=policy)
+    return HubRemote(api, "alice/proj", token=token), api
+
+
+def _drop_requests(times):
+    faults.arm("wire.request", action="error", at=1, times=times,
+               error=lambda: TransportError("connection reset"))
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy delay mathematics
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_grows_and_caps():
+    delays = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0).delays()
+    assert [delays.delay_for(n) for n in (1, 2, 3, 4, 5)] == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_retry_after_is_a_floor_not_a_cap():
+    delays = RetryPolicy(base_delay=0.1, jitter=0.0).delays()
+    assert delays.delay_for(1, retry_after=30.0) == 30.0  # sleep the window out
+    assert delays.delay_for(1, retry_after=0.01) == pytest.approx(0.1)  # backoff wins
+
+
+def test_jitter_is_deterministic_per_seed():
+    a = RetryPolicy(jitter=0.5, seed=7).delays()
+    b = RetryPolicy(jitter=0.5, seed=7).delays()
+    c = RetryPolicy(jitter=0.5, seed=8).delays()
+    first = [a.delay_for(n) for n in (1, 2, 3)]
+    assert first == [b.delay_for(n) for n in (1, 2, 3)]
+    assert first != [c.delay_for(n) for n in (1, 2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Retry classification
+# ---------------------------------------------------------------------------
+
+
+def test_transport_errors_are_retried_until_success():
+    platform, token, _ = _platform()
+    remote, api = _remote(platform, token)
+    _drop_requests(times=2)
+    advert = remote.refs()
+    assert advert.branches and api.retries == 2
+
+
+def test_exhausted_retries_reraise_the_transport_error():
+    platform, token, _ = _platform()
+    remote, api = _remote(platform, token, max_attempts=3)
+    _drop_requests(times=None)  # every attempt fails
+    with pytest.raises(TransportError):
+        remote.refs()
+    assert api.retries == 2  # 3 attempts = 2 sleeps
+
+
+def test_semantic_rejections_are_not_retried():
+    platform, token, _ = _platform()
+    api = RetryingApi(RestApi(platform), policy=RetryPolicy(jitter=0.0))
+    response = api.get("/repos/alice/missing", token=token)
+    assert response.status == 404 and api.retries == 0
+    response = api.post("/repos/alice/proj/git/receive-pack", payload={}, token=token)
+    assert response.status == 422 and api.retries == 0
+
+
+def test_damaged_in_flight_bundle_is_retried():
+    # A bundle flipped on the wire is a retryable 422 (TransferCorruptError):
+    # the sender's copy is intact, so the re-send succeeds.
+    platform, token, server_repo = _platform()
+    remote, api = _remote(platform, token)
+    clone = remote.clone()
+    clone.write_file("/b.txt", b"second")
+    tip = clone.commit("c1", author_name="alice")
+    faults.reset()  # zero the hit counters the clone advanced
+    faults.arm("bundle.read", action="flip", at=1, times=1, offset=40)
+    report = remote.push(clone)
+    assert server_repo.head_oid() == tip
+    assert report["updated"] == {"main": tip}
+    assert api.retries == 1
+
+
+def test_simulated_crash_is_never_absorbed():
+    platform, token, _ = _platform()
+    remote, _ = _remote(platform, token)
+    faults.arm("wire.request", action="crash", at=1)
+    with pytest.raises(SimulatedCrash):
+        remote.refs()
+
+
+def test_rate_limit_retry_after_honoured_with_fake_clock():
+    clock = [0.0]
+    limiter = RateLimiter(authenticated_limit=2, window_seconds=10.0, clock=lambda: clock[0])
+    platform, token, _ = _platform(limiter)
+    slept: list[float] = []
+
+    def sleep(seconds: float) -> None:
+        slept.append(seconds)
+        clock[0] += seconds  # sleeping genuinely advances the rate window
+
+    api = RetryingApi(
+        RestApi(platform),
+        policy=RetryPolicy(jitter=0.0, base_delay=0.01, max_attempts=4),
+        sleep=sleep,
+    )
+    for _ in range(2):
+        assert api.get("/repos/alice/proj", token=token).ok
+    response = api.get("/repos/alice/proj", token=token)
+    assert response.ok  # the retry after the window expired succeeded
+    assert any(s >= 9.0 for s in slept), slept  # waited the window, not the backoff
+
+
+# ---------------------------------------------------------------------------
+# HubRemote over the wire: clone / pull / push
+# ---------------------------------------------------------------------------
+
+
+def test_clone_pull_push_roundtrip_over_the_wire():
+    platform, token, server_repo = _platform()
+    remote, _ = _remote(platform, token)
+
+    clone = remote.clone()
+    assert clone.head_oid() == server_repo.head_oid()
+    assert clone.read_file("/a.txt") == b"hello"
+
+    clone.write_file("/b.txt", b"pushed")
+    tip = clone.commit("c1", author_name="alice")
+    report = remote.push(clone)
+    assert server_repo.head_oid() == tip
+    assert report["objects_added"] > 0
+
+    stale = remote.clone()
+    clone.write_file("/c.txt", b"newer")
+    tip2 = clone.commit("c2", author_name="alice")
+    remote.push(clone)
+    assert remote.pull(stale) == tip2
+    assert stale.head_oid() == tip2 and stale.read_file("/c.txt") == b"newer"
+
+
+def test_push_requires_existing_local_branch():
+    platform, token, _ = _platform()
+    remote, _ = _remote(platform, token)
+    clone = remote.clone()
+    with pytest.raises(RemoteError):
+        remote.push(clone, branch="nope")
+
+
+def test_non_fast_forward_push_rejected_without_force():
+    platform, token, server_repo = _platform()
+    remote, _ = _remote(platform, token)
+    clone = remote.clone()
+    server_tip = server_repo.head_oid()
+    # The server moves ahead; the clone commits a divergent history.
+    server_repo.write_file("/server.txt", b"ahead")
+    server_repo.commit("server moves", author_name="alice")
+    clone.write_file("/local.txt", b"divergent")
+    tip = clone.commit("local moves", author_name="alice")
+    with pytest.raises(ValidationError):
+        remote.push(clone)
+    assert server_repo.head_oid() != tip  # nothing moved
+    report = remote.push(clone, force=True)
+    assert report["updated"] == {"main": tip}
+    assert server_tip  # divergence scenario actually exercised
+
+
+def test_pull_refuses_diverged_histories():
+    platform, token, server_repo = _platform()
+    remote, _ = _remote(platform, token)
+    clone = remote.clone()
+    server_repo.write_file("/server.txt", b"ahead")
+    server_repo.commit("server moves", author_name="alice")
+    clone.write_file("/local.txt", b"divergent")
+    clone.commit("local moves", author_name="alice")
+    with pytest.raises(RemoteError):
+        remote.pull(clone)
+
+
+# ---------------------------------------------------------------------------
+# Convergence: the interrupted push
+# ---------------------------------------------------------------------------
+
+
+def _server_state(repo):
+    return (dict(repo.refs.branches), sorted(repo.store.iter_oids()))
+
+
+def test_interrupted_push_converges_request_lost():
+    # The request dies before the server sees it: the retry is the first
+    # delivery, and the result is byte-identical to an uninterrupted push.
+    platform, token, server_repo = _platform()
+    remote, api = _remote(platform, token)
+    clone = remote.clone()
+    clone.write_file("/b.txt", b"second")
+    tip = clone.commit("c1", author_name="alice")
+
+    reference = clone_repository(server_repo)
+    from repro.vcs.remote import push as local_push
+
+    local_push(clone, reference)
+
+    faults.reset()  # zero the hit counters the clone advanced
+    _drop_requests(times=2)
+    remote.push(clone)
+    assert _server_state(server_repo) == _server_state(reference)
+    assert server_repo.head_oid() == tip
+    assert api.retries == 2
+
+
+def test_interrupted_push_converges_response_lost():
+    # The server applied the bundle and moved the ref, then the response
+    # died: the retried identical bundle must be a no-op (idempotent apply),
+    # adding zero duplicate objects and losing no ref update.
+    platform, token, server_repo = _platform()
+    remote, _ = _remote(platform, token)
+    clone = remote.clone()
+    clone.write_file("/b.txt", b"second")
+    tip = clone.commit("c1", author_name="alice")
+
+    # push = refs GET (response hit 1) + receive-pack (response hit 2).
+    faults.reset()  # zero the hit counters the clone advanced
+    faults.arm("wire.response", action="error", at=2, times=1,
+               error=lambda: TransportError("response dropped"))
+    before_oids = sorted(server_repo.store.iter_oids())
+    report = remote.push(clone)
+    after_oids = sorted(server_repo.store.iter_oids())
+
+    assert server_repo.head_oid() == tip  # the first (unacknowledged) attempt landed
+    assert report["objects_added"] == 0  # the retry duplicated nothing
+    assert len(after_oids) == len(set(after_oids))
+    assert set(before_oids) < set(after_oids)
+
+
+def test_repeated_identical_push_is_a_noop():
+    platform, token, server_repo = _platform()
+    remote, _ = _remote(platform, token)
+    clone = remote.clone()
+    clone.write_file("/b.txt", b"second")
+    clone.commit("c1", author_name="alice")
+    first = remote.push(clone)
+    count = len(sorted(server_repo.store.iter_oids()))
+    second = remote.push(clone)
+    assert first["objects_added"] > 0
+    assert second["objects_added"] == 0 and second["updated"] == {}
+    assert len(sorted(server_repo.store.iter_oids())) == count
+
+
+# ---------------------------------------------------------------------------
+# ExtensionClient opts into the same policy
+# ---------------------------------------------------------------------------
+
+
+def test_extension_client_retries_with_policy():
+    platform, token, _ = _platform()
+    client = ExtensionClient(
+        RestApi(platform), retry=RetryPolicy(jitter=0.0, base_delay=0.001)
+    )
+    _drop_requests(times=2)
+    assert client.sign_in(token) == "alice"
+    assert client.api.retries == 2
+
+
+def test_extension_client_without_retry_surfaces_transport_errors():
+    platform, token, _ = _platform()
+    client = ExtensionClient(RestApi(platform))
+    _drop_requests(times=1)
+    with pytest.raises(TransportError):
+        client.sign_in(token)

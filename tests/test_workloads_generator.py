@@ -2,14 +2,23 @@
 
 import random
 
+import pytest
 
+from repro import faults
 from repro.citation.conflict import NewestStrategy
 from repro.citation.operators import AddCite, DelCite, GenCite, ModifyCite, apply_operations
+from repro.cli.storage import load_repository, save_repository
+from repro.errors import TransportError
+from repro.faults import SimulatedCrash
+from repro.vcs.fsck import fsck_working_copy
 from repro.workloads.generator import (
+    STORAGE_FAILPOINTS,
+    FaultEvent,
     WorkloadConfig,
     generate_branch_pair,
     generate_citation,
     generate_citation_function,
+    generate_fault_schedule,
     generate_history,
     generate_operation_trace,
     generate_repository,
@@ -109,3 +118,75 @@ class TestOperationTraces:
     def test_trace_is_deterministic(self):
         workload = generate_repository(WorkloadConfig(seed=29, num_files=40, citation_density=0.2))
         assert generate_operation_trace(workload, 50) == generate_operation_trace(workload, 50)
+
+
+class TestFleetFaultSchedules:
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_schedule_is_deterministic_per_seed(self):
+        config = WorkloadConfig(seed=31)
+        assert generate_fault_schedule(config) == generate_fault_schedule(config)
+        assert generate_fault_schedule(config) != generate_fault_schedule(WorkloadConfig(seed=32))
+
+    def test_schedule_shape_and_validity(self):
+        schedule = generate_fault_schedule(
+            WorkloadConfig(seed=37), fleet_size=6, faults_per_member=3, max_hit=5
+        )
+        assert schedule.fleet_size == 6
+        assert len(schedule.events) == 18
+        registered = set(faults.registered_failpoints())
+        for event in schedule.events:
+            assert 0 <= event.member < 6
+            assert event.failpoint in registered
+            assert 1 <= event.at <= 5
+            assert event.keep >= 0 and event.offset >= 0
+        # Every member got its deal, and the deals partition the events.
+        deals = [schedule.for_member(m) for m in range(6)]
+        assert all(len(deal) == 3 for deal in deals)
+        assert sorted((e for deal in deals for e in deal), key=str) == sorted(schedule.events, key=str)
+
+    def test_unknown_failpoint_is_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fault_schedule(WorkloadConfig(seed=1), failpoints=("no.such.site",))
+
+    def test_restricting_sites_restricts_the_schedule(self):
+        schedule = generate_fault_schedule(
+            WorkloadConfig(seed=41), fleet_size=8, failpoints=STORAGE_FAILPOINTS
+        )
+        assert {e.failpoint for e in schedule.events} <= set(STORAGE_FAILPOINTS)
+        assert {e.action for e in schedule.events} <= {"crash", "truncate", "flip"}
+
+    def test_armed_event_triggers_at_its_hit_index(self):
+        event = FaultEvent(member=0, failpoint="state.save", action="crash", at=2)
+        event.arm()
+        assert faults.consume("state.save") is None  # hit 1: below `at`
+        action = faults.consume("state.save")  # hit 2: triggers, once
+        assert action is not None and action.kind == "crash"
+        assert faults.consume("state.save") is None  # times=1: spent
+
+    def test_armed_error_event_raises_transport_error(self):
+        event = FaultEvent(member=0, failpoint="wire.request", action="error", at=1)
+        event.arm()
+        with pytest.raises(TransportError):
+            faults.fire("wire.request")
+
+    def test_fleet_member_crash_recovers_with_fsck(self, tmp_path):
+        # One member of the fleet replayed end to end: generate, persist,
+        # arm the member's crash, die mid-save, recover, verify integrity.
+        workload = generate_repository(WorkloadConfig(seed=43, num_files=12))
+        save_repository(workload.repo, tmp_path, storage="pack")
+        before = load_repository(tmp_path).head_oid()
+        faults.reset()
+        FaultEvent(member=0, failpoint="state.save", action="truncate", at=1, keep=9).arm()
+        workload.repo.write_file("/crash.txt", "doomed\n")
+        workload.repo.commit("never durable", author_name="alice")
+        with pytest.raises(SimulatedCrash):
+            save_repository(workload.repo, tmp_path)
+        faults.reset()
+        report = fsck_working_copy(tmp_path)
+        assert report.ok
+        assert load_repository(tmp_path).head_oid() == before
