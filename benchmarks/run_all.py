@@ -38,6 +38,7 @@ import random
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -48,6 +49,14 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 from repro.citation.citefile import CITATION_FILE_PATH, load_citation_bytes  # noqa: E402
 from repro.cli.storage import load_repository, save_repository  # noqa: E402
 from repro.citation.retro import AttributionIndex, FileAttribution  # noqa: E402
+from repro.errors import RemoteError, ValidationError  # noqa: E402
+from repro.hub.api import RestApi  # noqa: E402
+from repro.hub.httpd import HttpTransport, HubHttpServer  # noqa: E402
+from repro.hub.ratelimit import RateLimiter  # noqa: E402
+from repro.hub.retry import RetryingApi, RetryPolicy  # noqa: E402
+from repro.hub.server import HostingPlatform  # noqa: E402
+from repro.hub.sync import HubRemote  # noqa: E402
+from repro.vcs.merge import is_ancestor_commit  # noqa: E402
 from repro.utils.hashing import object_id  # noqa: E402
 from repro.utils.jsonutil import stable_loads  # noqa: E402
 from repro.utils.paths import ROOT, is_ancestor, path_parent  # noqa: E402
@@ -992,6 +1001,133 @@ def bench_fsck(num_files: int = 5000, history_commits: int = 6) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Concurrency scenario (PR 7)
+# ---------------------------------------------------------------------------
+
+
+def bench_concurrent_push_pull(clients: int = 8, rounds: int = 3) -> dict:
+    """N clients race fast-forward pushes over a real TCP socket.
+
+    Unlike the other scenarios this one is gated on *correctness*, not
+    wall-clock: the CI floor is ``lost_updates == 0`` — once the hub returns
+    2xx for a push, that commit must remain reachable from the final branch
+    tip no matter how many other clients were racing it.  The baseline runs
+    the identical client workload sequentially (the only safe schedule before
+    the hub was concurrency-safe); the optimized side runs all clients in
+    threads against a live :class:`~repro.hub.httpd.HubHttpServer`.  The
+    speedup floor is deliberately tiny: threaded Python over HTTP is about
+    overlap under the GIL, and the point of the scenario is the invariant.
+    """
+
+    def build_hub() -> tuple[HostingPlatform, str]:
+        repo = Repository.init("contended", "alice")
+        repo.write_file("README.md", "contended repo\n")
+        repo.commit("initial", author_name="alice")
+        platform = HostingPlatform(rate_limiter=RateLimiter(enabled=False))
+        platform.host_repository(repo)
+        return platform, platform.issue_token("alice").value
+
+    def client_workload(url: str, token: str, index: int) -> list[str]:
+        wire = HttpTransport(url, timeout=30)
+        api = RetryingApi(wire, RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        remote = HubRemote(api, "alice/contended", token=token)
+        local = remote.clone()
+        acknowledged: list[str] = []
+        for round_number in range(rounds):
+            for _attempt in range(64):
+                try:
+                    tip = remote.fetch_branch(local, "main")
+                    local.refs.set_branch("main", tip)
+                    local.checkout("main")
+                    local.write_file(f"client-{index}.txt", f"round {round_number}\n")
+                    oid = local.commit(
+                        f"client {index} round {round_number}",
+                        author_name=f"client-{index}",
+                    )
+                    remote.push(local, "main")
+                except (ValidationError, RemoteError):
+                    continue  # lost the race loudly (422); rebase and go again
+                acknowledged.append(oid)
+                break
+            else:
+                raise RuntimeError(f"client {index} starved after 64 attempts")
+        return acknowledged
+
+    def audit(platform: HostingPlatform, acknowledged: list[str]) -> int:
+        hosted = platform.repositories["alice/contended"].repo
+        final_tip = hosted.refs.branch_target("main")
+        return sum(
+            1
+            for oid in acknowledged
+            if not is_ancestor_commit(hosted.store, oid, final_tip)
+        )
+
+    # Baseline: the same client workload, one client at a time over the wire.
+    baseline_platform, baseline_token = build_hub()
+    baseline_acknowledged: list[str] = []
+    with HubHttpServer(RestApi(baseline_platform)) as server:
+        url = server.url
+
+        def run_baseline():
+            for index in range(clients):
+                baseline_acknowledged.extend(client_workload(url, baseline_token, index))
+
+        baseline_s = _timed(run_baseline)
+    baseline_lost = audit(baseline_platform, baseline_acknowledged)
+
+    # Optimized: every client is a thread hammering the same live server.
+    optimized_platform, optimized_token = build_hub()
+    optimized_acknowledged: list[str] = []
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+    with HubHttpServer(RestApi(optimized_platform)) as server:
+        url = server.url
+
+        def client_thread(index: int) -> None:
+            try:
+                acked = client_workload(url, optimized_token, index)
+            except BaseException as exc:  # surfaced after the join below
+                with lock:
+                    failures.append(exc)
+                return
+            with lock:
+                optimized_acknowledged.extend(acked)
+
+        def run_optimized():
+            threads = [
+                threading.Thread(target=client_thread, args=(index,))
+                for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        optimized_s = _timed(run_optimized)
+    if failures:
+        raise failures[0]
+    optimized_lost = audit(optimized_platform, optimized_acknowledged)
+
+    expected = clients * rounds
+    identical = (
+        len(baseline_acknowledged) == expected
+        and len(optimized_acknowledged) == expected
+        and baseline_lost == 0
+        and optimized_lost == 0
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "clients": clients,
+        "rounds": rounds,
+        "pushes_acknowledged": len(optimized_acknowledged),
+        "lost_updates": optimized_lost,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -1008,6 +1144,7 @@ SCENARIOS = {
     "push_incremental_5k": bench_push_incremental,
     "pull_after_divergence": bench_pull_after_divergence,
     "fsck_5k": bench_fsck,
+    "concurrent_push_pull": bench_concurrent_push_pull,
 }
 
 

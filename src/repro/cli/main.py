@@ -9,7 +9,7 @@ from typing import Optional, Sequence
 from repro.errors import CLIError, ReproError
 from repro.citation.conflict import available_strategies
 from repro.formats import available_formats
-from repro.cli import bundle, commands, fsck, storage
+from repro.cli import bundle, commands, fsck, serve, storage
 from repro.vcs.storage import backend_kinds
 
 __all__ = ["build_parser", "main"]
@@ -183,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repair", action="store_true",
                    help="quarantine corrupt objects/packs, salvage what verifies, rebuild indexes")
     p.set_defaults(func=fsck.cmd_fsck)
+
+    p = sub.add_parser(
+        "serve",
+        help="host the working copy over HTTP (REST API incl. the git sync endpoints)",
+    )
+    _add_common(p)
+    p.add_argument("--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8943,
+                   help="TCP port to listen on (0 = ephemeral; default: 8943)")
+    p.add_argument("--no-rate-limit", action="store_true",
+                   help="disable the GitHub-style request quotas")
+    p.set_defaults(func=serve.cmd_serve)
 
     p = sub.add_parser("storage", help="object-store maintenance (repack / gc / migrate)")
     storage_sub = p.add_subparsers(dest="storage_command", required=True)

@@ -1,0 +1,56 @@
+"""``gitcite serve`` — host a working copy over a real HTTP socket.
+
+Loads the working copy, hosts it on a fresh
+:class:`~repro.hub.server.HostingPlatform` under its recorded owner/name
+slug, issues the owner a push token, and serves the full REST API
+(contents, forks, and the three ``git/*`` sync endpoints — see
+``docs/WIRE_PROTOCOL.md``) on a :class:`~repro.hub.httpd.HubHttpServer`
+until interrupted.  Anonymous reads are allowed (the repository is hosted
+public); pushes need the printed token.
+
+State pushed while serving lives in the hosted repository object; on a
+clean shutdown (SIGINT) the working copy is saved back to disk, so
+accepted pushes survive the server process.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.storage import load_repository, save_repository
+from repro.errors import CLIError, ReproError
+from repro.hub.api import RestApi
+from repro.hub.httpd import HubHttpServer
+from repro.hub.ratelimit import RateLimiter
+from repro.hub.server import HostingPlatform
+
+__all__ = ["cmd_serve"]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    repo = load_repository(args.directory)
+    limiter = RateLimiter(enabled=not args.no_rate_limit)
+    platform = HostingPlatform(rate_limiter=limiter)
+    platform.host_repository(repo)
+    token = platform.issue_token(repo.owner)
+    try:
+        server = HubHttpServer(RestApi(platform), host=args.host, port=args.port)
+    except OSError as exc:
+        raise CLIError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    slug = repo.full_name
+    print(f"serving {slug} on {server.url}", flush=True)
+    print(f"  token ({repo.owner}): {token.value}", flush=True)
+    print(f"  refs: GET {server.url}/repos/{slug}/git/refs", flush=True)
+    print("  stop with Ctrl-C (the working copy is saved on shutdown)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        try:
+            save_repository(repo, args.directory)
+        except ReproError as exc:
+            raise CLIError(f"shutdown: could not save the working copy: {exc}") from exc
+    print(f"stopped; {slug} saved", flush=True)
+    return 0

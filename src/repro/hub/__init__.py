@@ -16,12 +16,22 @@ offline and deterministic:
 * :mod:`retry` — :class:`~repro.hub.retry.RetryingApi`, the fault-tolerant
   wrapper around the API (backoff, jitter, ``Retry-After``);
 * :mod:`sync` — :class:`~repro.hub.sync.HubRemote`, clone/fetch/pull/push
-  spoken entirely over the three ``git/*`` wire endpoints.
+  spoken entirely over the three ``git/*`` wire endpoints;
+* :mod:`httpd` — :class:`~repro.hub.httpd.HubHttpServer`, the same REST API
+  behind a real threaded TCP socket, and
+  :class:`~repro.hub.httpd.HttpTransport`, the matching wire client.
+
+Since PR 7 the whole stack is **concurrency-safe**: the platform serialises
+per-repository mutations, ref updates are compare-and-swap with optimistic
+retry, storage backends take a store-level write lock that readers do not
+block on, and the token authority and rate limiter lock their counters.
+``docs/ARCHITECTURE.md`` documents the contract layer by layer.
 """
 
 from repro.hub.models import AccessToken, HostedRepository, Permission, User
 from repro.hub.server import HostingPlatform
 from repro.hub.api import ApiResponse, RestApi
+from repro.hub.httpd import HubHttpServer, HttpTransport, serve_platform
 from repro.hub.retry import RetryingApi, RetryPolicy
 from repro.hub.sync import HubRemote
 
@@ -33,6 +43,9 @@ __all__ = [
     "HostingPlatform",
     "ApiResponse",
     "RestApi",
+    "HubHttpServer",
+    "HttpTransport",
+    "serve_platform",
     "RetryingApi",
     "RetryPolicy",
     "HubRemote",

@@ -3,10 +3,16 @@
 Tokens are deterministic (derived from the login and an issuance counter) so
 scenario builders and tests can hard-code them; nothing about the citation
 model depends on token randomness.
+
+The authority is thread-safe: issuance increments a per-login counter, so
+:meth:`TokenAuthority.issue` runs under an internal lock (two concurrent
+issuances must never mint the same token value); authenticate/revoke are
+single atomic dict operations and need none.
 """
 
 from __future__ import annotations
 
+import threading
 from datetime import datetime
 from typing import Optional
 
@@ -24,12 +30,14 @@ class TokenAuthority:
     def __init__(self) -> None:
         self._tokens: dict[str, AccessToken] = {}
         self._issued: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def issue(self, user: User, scopes: tuple[str, ...] = ("repo",),
               created_at: Optional[datetime] = None) -> AccessToken:
         """Issue a new token for ``user``."""
-        count = self._issued.get(user.login, 0) + 1
-        self._issued[user.login] = count
+        with self._lock:
+            count = self._issued.get(user.login, 0) + 1
+            self._issued[user.login] = count
         value = "ghs_" + sha1_hex(f"{user.login}:{count}".encode("utf-8"))[:36]
         token = AccessToken(
             value=value,

@@ -1,0 +1,274 @@
+"""Serve the hub's REST API over a real TCP socket — and speak to it.
+
+Until this module existed, :class:`~repro.hub.api.RestApi` was only ever a
+method call: client and server shared one process, one thread and one Python
+object graph.  :class:`HubHttpServer` puts the same API behind a stdlib
+:class:`~http.server.ThreadingHTTPServer`, so every request arrives on its
+own thread over a genuine socket, and :class:`HttpTransport` is the client
+half — an object with the exact ``RestApi`` verb surface (``request`` /
+``get`` / ``put`` / ``post`` / ``delete`` returning
+:class:`~repro.hub.api.ApiResponse`), implemented with
+:class:`http.client.HTTPConnection`.
+
+Because the surfaces match, everything built against the in-process API
+works over the wire unchanged: wrap an :class:`HttpTransport` in
+:class:`~repro.hub.retry.RetryingApi` and hand it to
+:class:`~repro.hub.sync.HubRemote` and clone/fetch/pull/push run over TCP
+with transparent retry.  Socket-level failures (connection refused, reset,
+timeout) surface as :class:`~repro.errors.TransportError` — the same
+exception the ``wire.*`` failpoints raise — so the retry classification
+needs no new cases.
+
+Thread-safety contract
+----------------------
+``HubHttpServer`` handles each request on its own thread; it is safe exactly
+because every layer below it is: the platform serialises per-repository
+mutations, ref moves are compare-and-swap, storage backends take a write
+lock, and the token authority and rate limiter lock their counters (see
+``docs/ARCHITECTURE.md``).  ``HttpTransport`` opens one connection per
+request and keeps no mutable state, so a single transport instance may be
+shared freely between client threads.
+
+HTTP mapping
+------------
+* the request path + query string is passed verbatim to ``RestApi.request``;
+* ``Authorization: token <value>`` (or ``Bearer <value>``) carries the
+  access token;
+* request and response bodies are JSON (``Content-Type:
+  application/json``); an unparseable request body is a 400;
+* the :class:`~repro.hub.api.ApiResponse` status becomes the HTTP status
+  line and its ``json`` the response body — including the ``retryable`` /
+  ``retry_after`` error fields documented in ``docs/WIRE_PROTOCOL.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection, HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError, TransportError
+from repro.hub.api import ApiResponse, RestApi
+
+__all__ = ["HubHttpServer", "HttpTransport", "serve_platform"]
+
+
+class _HubRequestHandler(BaseHTTPRequestHandler):
+    """Translate one HTTP exchange into one ``RestApi.request`` call."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "gitcite-hub/1.0"
+
+    def _token(self) -> Optional[str]:
+        header = self.headers.get("Authorization")
+        if not header:
+            return None
+        parts = header.split(None, 1)
+        # "token <v>" (GitHub style) or "Bearer <v>"; a bare value also works.
+        return parts[1].strip() if len(parts) == 2 else parts[0].strip()
+
+    def _read_payload(self):
+        """Return ``(ok, payload)``; a malformed body answers 400 itself."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return True, None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._send(400, {"message": "request body is not valid JSON", "retryable": False})
+            return False, None
+        if payload is not None and not isinstance(payload, dict):
+            self._send(
+                422,
+                {"message": "request body must be a JSON object", "retryable": False},
+            )
+            return False, None
+        return True, payload
+
+    def _dispatch(self, method: str) -> None:
+        ok, payload = self._read_payload()
+        if not ok:
+            return
+        try:
+            response = self.server.api.request(
+                method, self.path, token=self._token(), payload=payload
+            )
+        except ReproError as exc:
+            # RestApi already maps hub errors to statuses; anything that
+            # still escapes (an armed wire failpoint, an unexpected internal
+            # error) is a server-side failure the client may retry.
+            self._send(500, {"message": str(exc), "retryable": True})
+            return
+        self._send(response.status, response.json)
+
+    def _send(self, status: int, body) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        """Route access logs to the server's optional callback (default: silent)."""
+        log = getattr(self.server, "log", None)
+        if log is not None:
+            log(format % args)
+
+
+class HubHttpServer(ThreadingHTTPServer):
+    """``RestApi`` behind a real listening TCP socket, one thread per request.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    Use as a context manager — entering starts the accept loop on a
+    background thread, leaving shuts it down and closes the socket::
+
+        with HubHttpServer(RestApi(platform)) as server:
+            api = HttpTransport(server.url)
+            ...
+
+    or call :meth:`start` / :meth:`stop` explicitly.  ``api`` may be any
+    object with the ``RestApi.request`` signature (a bare :class:`RestApi`,
+    or one already wrapped in instrumentation).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, api, host: str = "127.0.0.1", port: int = 0, log=None) -> None:
+        super().__init__((host, port), _HubRequestHandler)
+        self.api = api
+        self.log = log
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HubHttpServer":
+        """Serve on a daemon thread; returns ``self`` once the socket accepts."""
+        if self._thread is None:
+            thread = threading.Thread(
+                target=self.serve_forever, name="gitcite-hub-httpd", daemon=True
+            )
+            thread.start()
+            self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Stop the accept loop (if running) and close the listening socket."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join()
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "HubHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_platform(platform, host: str = "127.0.0.1", port: int = 0) -> HubHttpServer:
+    """Convenience: wrap ``platform`` in a :class:`RestApi` and start serving."""
+    return HubHttpServer(RestApi(platform), host=host, port=port).start()
+
+
+class HttpTransport:
+    """The ``RestApi`` verb surface spoken over a real HTTP connection.
+
+    ``base`` is either a full ``http://host:port`` URL (e.g.
+    :attr:`HubHttpServer.url`) or a bare host, with ``port`` given
+    separately.  One connection is opened per request —
+    :class:`http.client.HTTPConnection` is not thread-safe, the hub's
+    endpoints are stateless, and per-request connections are what make a
+    single shared transport instance safe for N client threads.
+
+    Socket-level failures raise :class:`~repro.errors.TransportError`
+    (always retryable — the server may or may not have acted, which is the
+    ambiguity :class:`~repro.hub.retry.RetryingApi` plus the idempotent
+    wire endpoints resolve).  Non-2xx responses are *returned*, not raised,
+    exactly like the in-process :class:`RestApi`.
+    """
+
+    def __init__(self, base: str, port: Optional[int] = None, timeout: float = 30.0) -> None:
+        if "//" in base:
+            split = urlsplit(base)
+            self.host = split.hostname or "127.0.0.1"
+            self.port = split.port or port or 80
+        else:
+            self.host = base
+            self.port = port or 80
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        token: Optional[str] = None,
+        payload: Optional[dict] = None,
+    ) -> ApiResponse:
+        headers = {"Accept": "application/json"}
+        if token is not None:
+            headers["Authorization"] = f"token {token}"
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method.upper(), url, body=body, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            raw = response.read()
+        except (OSError, HTTPException) as exc:
+            raise TransportError(f"{method} {url}: {exc}") from exc
+        finally:
+            connection.close()
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, ValueError):
+            parsed = None
+        return ApiResponse(status=status, json=parsed)
+
+    # The RestApi convenience verbs, so the transport is a drop-in api.
+
+    def get(self, url: str, token: Optional[str] = None) -> ApiResponse:
+        return self.request("GET", url, token=token)
+
+    def put(self, url: str, payload: dict, token: Optional[str] = None) -> ApiResponse:
+        return self.request("PUT", url, token=token, payload=payload)
+
+    def post(self, url: str, payload: Optional[dict] = None, token: Optional[str] = None) -> ApiResponse:
+        return self.request("POST", url, token=token, payload=payload)
+
+    def delete(self, url: str, payload: Optional[dict] = None, token: Optional[str] = None) -> ApiResponse:
+        return self.request("DELETE", url, token=token, payload=payload)

@@ -11,10 +11,16 @@ A 429 carries a ``Retry-After`` hint (seconds until the identity's window
 resets) whenever the limiter can compute one, mirroring the HTTP header of
 the same name; without a clock there is no window to wait out, so the hint
 is the full window length.
+
+The limiter is thread-safe: counting is a read-modify-write, so
+:meth:`RateLimiter.check`, :meth:`~RateLimiter.status` and
+:meth:`~RateLimiter.reset` run under one internal lock — concurrent requests
+from the same identity can never double-spend a quota slot.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -73,6 +79,7 @@ class RateLimiter:
         self.clock = clock
         self._used: dict[str, int] = {}
         self._window_start: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def _limit_for(self, identity: str) -> int:
         return self.anonymous_limit if identity == "anonymous" else self.authenticated_limit
@@ -93,7 +100,7 @@ class RateLimiter:
         """
         key = identity or "anonymous"
         if self.clock is not None:
-            start = self._window_start.get(key)
+            start = self._window_start.get(key)  # atomic; called under the lock too
             if start is not None:
                 return max(0.0, self.window_seconds - (self.clock() - start))
         return self.window_seconds
@@ -108,30 +115,35 @@ class RateLimiter:
             ``retry_after`` — the seconds until the window resets.
         """
         key = identity or "anonymous"
-        self._roll_window(key)
-        used = self._used.get(key, 0)
-        limit = self._limit_for(key)
-        if self.enabled and used >= limit:
-            raise RateLimitExceededError(
-                f"API rate limit exceeded for {key} ({limit} requests)",
-                retry_after=self.retry_after(key),
-            )
-        if self.clock is not None and key not in self._window_start:
-            self._window_start[key] = self.clock()
-        self._used[key] = used + 1
-        return QuotaStatus(identity=key, limit=limit, used=used + 1)
+        with self._lock:
+            self._roll_window(key)
+            used = self._used.get(key, 0)
+            limit = self._limit_for(key)
+            if self.enabled and used >= limit:
+                raise RateLimitExceededError(
+                    f"API rate limit exceeded for {key} ({limit} requests)",
+                    retry_after=self.retry_after(key),
+                )
+            if self.clock is not None and key not in self._window_start:
+                self._window_start[key] = self.clock()
+            self._used[key] = used + 1
+            return QuotaStatus(identity=key, limit=limit, used=used + 1)
 
     def status(self, identity: str | None) -> QuotaStatus:
         """Return the quota status without consuming a request."""
         key = identity or "anonymous"
-        self._roll_window(key)
-        return QuotaStatus(identity=key, limit=self._limit_for(key), used=self._used.get(key, 0))
+        with self._lock:
+            self._roll_window(key)
+            return QuotaStatus(
+                identity=key, limit=self._limit_for(key), used=self._used.get(key, 0)
+            )
 
     def reset(self, identity: str | None = None) -> None:
         """Reset one identity's counter, or everyone's when ``identity`` is ``None``."""
-        if identity is None:
-            self._used.clear()
-            self._window_start.clear()
-        else:
-            self._used.pop(identity, None)
-            self._window_start.pop(identity, None)
+        with self._lock:
+            if identity is None:
+                self._used.clear()
+                self._window_start.clear()
+            else:
+                self._used.pop(identity, None)
+                self._window_start.pop(identity, None)

@@ -6,10 +6,31 @@ member/non-member distinction the browser extension relies on ("if the user
 is not a project member ... they will not be allowed to use the Add/Delete
 button functionalities", Section 3), and implements the platform-side halves
 of ForkCite (fork) and the local tool's publish step (receive a push).
+
+Thread-safety contract
+----------------------
+The platform serves concurrent requests (it sits behind
+:class:`~repro.hub.httpd.HubHttpServer`, one thread per request):
+
+* account and repository *registration* (register_user, host_repository,
+  fork) runs under the platform lock so two requests cannot claim the same
+  login or slug;
+* operations that mutate a hosted repository's *worktree* (put_file,
+  delete_file, and receive_pack's ref-update + checkout phase) serialise on
+  a per-slug lock — the checkout-target/commit/checkout-back dance is not
+  re-entrant, and concurrent content commits to one repository must land in
+  some serial order;
+* the expensive part of a push — bundle verification and object install in
+  :func:`~repro.vcs.transfer.session.apply_bundle` — deliberately runs
+  *outside* any platform lock (the object store tolerates concurrent
+  writers), so large pushes do not starve the contents API;
+* pure reads (get_file, list_tree, git_refs, upload_pack, commits) take no
+  lock at all and may overlap everything above.
 """
 
 from __future__ import annotations
 
+import threading
 from datetime import datetime
 from typing import Optional
 
@@ -55,6 +76,18 @@ class HostingPlatform:
         self.repositories: dict[str, HostedRepository] = {}
         self.tokens = TokenAuthority()
         self.rate_limiter = rate_limiter or RateLimiter()
+        #: Guards the account/repository registries (see module docstring).
+        self._lock = threading.RLock()
+        #: One lock per hosted slug, serialising worktree-mutating requests.
+        self._repo_locks: dict[str, threading.RLock] = {}
+
+    def _repo_lock(self, slug: str) -> threading.RLock:
+        """The per-slug mutation lock (created on first use)."""
+        with self._lock:
+            lock = self._repo_locks.get(slug)
+            if lock is None:
+                lock = self._repo_locks[slug] = threading.RLock()
+            return lock
 
     # ------------------------------------------------------------------
     # Accounts
@@ -62,11 +95,12 @@ class HostingPlatform:
 
     def register_user(self, login: str, name: str | None = None, email: str | None = None) -> User:
         """Create an account (logins are unique)."""
-        if login in self.users:
-            raise ValidationError(f"login already taken: {login!r}")
-        user = User(login=login, name=name or login, email=email or f"{login}@example.org")
-        self.users[login] = user
-        return user
+        with self._lock:
+            if login in self.users:
+                raise ValidationError(f"login already taken: {login!r}")
+            user = User(login=login, name=name or login, email=email or f"{login}@example.org")
+            self.users[login] = user
+            return user
 
     def get_user(self, login: str) -> User:
         try:
@@ -106,16 +140,17 @@ class HostingPlatform:
     def host_repository(self, repo: Repository, private: bool = False,
                         forked_from: Optional[str] = None) -> HostedRepository:
         """Host an existing repository object under its owner's account."""
-        if repo.owner not in self.users:
-            self.register_user(repo.owner)
-        slug = repo.full_name
-        if slug in self.repositories:
-            raise ValidationError(f"repository already exists: {slug!r}")
-        hosted = HostedRepository(
-            repo=repo, private=private, created_at=now_utc(), forked_from=forked_from
-        )
-        self.repositories[slug] = hosted
-        return hosted
+        with self._lock:
+            if repo.owner not in self.users:
+                self.register_user(repo.owner)
+            slug = repo.full_name
+            if slug in self.repositories:
+                raise ValidationError(f"repository already exists: {slug!r}")
+            hosted = HostedRepository(
+                repo=repo, private=private, created_at=now_utc(), forked_from=forked_from
+            )
+            self.repositories[slug] = hosted
+            return hosted
 
     def get_repository(self, slug: str, token: Optional[str] = None) -> HostedRepository:
         """Look up ``owner/name``, honouring private-repository visibility."""
@@ -244,8 +279,14 @@ class HostingPlatform:
         self._require_permission(hosted, token, Permission.WRITE)
         repo = hosted.repo
         try:
+            # Verification + object install runs unlocked (see the module
+            # docstring); only the ref-move + checkout phase — which must not
+            # interleave with a put_file/delete_file commit dance — takes the
+            # per-slug lock.  Ref-vs-ref races are additionally resolved by
+            # the CAS transaction inside update_refs_from_bundle itself.
             result = apply_bundle(repo.store, bundle_data)
-            updated = update_refs_from_bundle(repo, result.bundle, force=force)
+            with self._repo_lock(slug):
+                updated = update_refs_from_bundle(repo, result.bundle, force=force)
         except BundleChecksumError as exc:
             # Stream-level damage, not a semantic rejection: the sender's
             # copy is intact, so the client is told a re-send may succeed.
@@ -327,23 +368,26 @@ class HostingPlatform:
         hosted = self.get_repository(slug, token=token)
         user = self._require_permission(hosted, token, Permission.WRITE)
         repo = hosted.repo
-        target_branch = branch or hosted.default_branch
-        original_branch = repo.current_branch
-        if not repo.refs.has_branch(target_branch):
-            raise NotFoundError(f"{slug} has no branch {target_branch!r}")
-        if original_branch != target_branch:
-            repo.checkout(target_branch)
-        try:
-            repo.write_file(path, content)
-            commit_oid = repo.commit(
-                message,
-                author_name=author_name or user.name,
-                timestamp=timestamp,
-            )
-        finally:
-            if original_branch is not None and original_branch != target_branch:
-                repo.checkout(original_branch)
-        return commit_oid
+        # Per-slug lock: the checkout/commit/checkout-back dance below must
+        # not interleave with another content commit or a push's ref phase.
+        with self._repo_lock(slug):
+            target_branch = branch or hosted.default_branch
+            original_branch = repo.current_branch
+            if not repo.refs.has_branch(target_branch):
+                raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+            if original_branch != target_branch:
+                repo.checkout(target_branch)
+            try:
+                repo.write_file(path, content)
+                commit_oid = repo.commit(
+                    message,
+                    author_name=author_name or user.name,
+                    timestamp=timestamp,
+                )
+            finally:
+                if original_branch is not None and original_branch != target_branch:
+                    repo.checkout(original_branch)
+            return commit_oid
 
     def delete_file(
         self,
@@ -359,26 +403,27 @@ class HostingPlatform:
         hosted = self.get_repository(slug, token=token)
         user = self._require_permission(hosted, token, Permission.WRITE)
         repo = hosted.repo
-        target_branch = branch or hosted.default_branch
-        original_branch = repo.current_branch
-        if not repo.refs.has_branch(target_branch):
-            raise NotFoundError(f"{slug} has no branch {target_branch!r}")
-        if original_branch != target_branch:
-            repo.checkout(target_branch)
-        try:
-            canonical = normalize_path(path)
-            if not repo.file_exists(canonical):
-                raise NotFoundError(f"{slug}@{target_branch} has no file {path!r}")
-            repo.remove_file(canonical)
-            commit_oid = repo.commit(
-                message,
-                author_name=author_name or user.name,
-                timestamp=timestamp,
-            )
-        finally:
-            if original_branch is not None and original_branch != target_branch:
-                repo.checkout(original_branch)
-        return commit_oid
+        with self._repo_lock(slug):
+            target_branch = branch or hosted.default_branch
+            original_branch = repo.current_branch
+            if not repo.refs.has_branch(target_branch):
+                raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+            if original_branch != target_branch:
+                repo.checkout(target_branch)
+            try:
+                canonical = normalize_path(path)
+                if not repo.file_exists(canonical):
+                    raise NotFoundError(f"{slug}@{target_branch} has no file {path!r}")
+                repo.remove_file(canonical)
+                commit_oid = repo.commit(
+                    message,
+                    author_name=author_name or user.name,
+                    timestamp=timestamp,
+                )
+            finally:
+                if original_branch is not None and original_branch != target_branch:
+                    repo.checkout(original_branch)
+            return commit_oid
 
     # ------------------------------------------------------------------
     # History metadata (used when building citations for remote versions)

@@ -16,6 +16,7 @@ era; callers pick a layout at construction time and nothing else.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from bisect import bisect_left
 from collections import OrderedDict
@@ -70,12 +71,23 @@ class ObjectStore:
     built and is rebuilt whenever the counter has moved — so writes that
     reach the backend without going through :meth:`put` (raw transfers,
     migrations) invalidate it too, not just facade-level writes.
+
+    Thread-safety contract: the facade's mutable bookkeeping — the LRU
+    parse cache, the sorted prefix index and the lease registry — is
+    guarded by one internal lock, held only for dict/list operations
+    (never across backend I/O).  Object payload reads and writes delegate
+    to the backend, whose own write lock serialises mutations while
+    leaving reads lock-free (see :mod:`repro.vcs.storage.base`), so N
+    server threads can read through one store while a push lands.
     """
 
     def __init__(self, backend: BackendSpec = None, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._backend = make_backend(backend)
         self._cache: OrderedDict[str, VCSObject] = OrderedDict()
         self._cache_size = cache_size
+        #: Guards the cache, the sorted prefix index and the lease set.
+        #: Never held across backend I/O, so it cannot serialise reads.
+        self._lock = threading.RLock()
         self._sorted_oids: list[str] = []
         self._indexed_mutation = -1
         #: Live pins on oids borrowed by parties outside any reachability
@@ -93,10 +105,19 @@ class ObjectStore:
     def _cache_insert(self, oid: str, obj: VCSObject) -> None:
         if self._cache_size <= 0:
             return
-        self._cache[oid] = obj
-        self._cache.move_to_end(oid)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[oid] = obj
+            self._cache.move_to_end(oid)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _cache_probe(self, oid: str) -> VCSObject | None:
+        """LRU-touching cache lookup (the ``OrderedDict`` reorder needs the lock)."""
+        with self._lock:
+            cached = self._cache.get(oid)
+            if cached is not None:
+                self._cache.move_to_end(oid)
+            return cached
 
     # -- writing -----------------------------------------------------------
 
@@ -133,9 +154,8 @@ class ObjectStore:
         ObjectNotFoundError
             If no object with that id is stored.
         """
-        cached = self._cache.get(oid)
+        cached = self._cache_probe(oid)
         if cached is not None:
-            self._cache.move_to_end(oid)
             return cached
         try:
             object_type, payload = self._backend.read(oid)
@@ -162,9 +182,8 @@ class ObjectStore:
         the payload by re-serialising the cached object (deterministic by
         construction), a miss reads the backend record directly.
         """
-        cached = self._cache.get(oid)
+        cached = self._cache_probe(oid)
         if cached is not None:
-            self._cache.move_to_end(oid)
             return cached.type_name, cached.serialize()
         try:
             return self._backend.read(oid)
@@ -191,9 +210,8 @@ class ObjectStore:
             if oid in requested:
                 continue
             requested.add(oid)
-            cached = self._cache.get(oid)
+            cached = self._cache_probe(oid)
             if cached is not None:
-                self._cache.move_to_end(oid)
                 if not isinstance(cached, Blob):
                     raise InvalidObjectError(
                         f"object {oid} has type {cached.type_name}, expected blob"
@@ -290,10 +308,14 @@ class ObjectStore:
         return oids[position]
 
     def _sorted_oid_list(self) -> list[str]:
-        if self._indexed_mutation != self._backend.mutation_counter:
-            self._sorted_oids = sorted(self._backend.iter_oids())
-            self._indexed_mutation = self._backend.mutation_counter
-        return self._sorted_oids
+        with self._lock:
+            if self._indexed_mutation != self._backend.mutation_counter:
+                # Record the counter *before* iterating so a write landing
+                # mid-rebuild forces another rebuild instead of being lost.
+                counter = self._backend.mutation_counter
+                self._sorted_oids = sorted(self._backend.iter_oids())
+                self._indexed_mutation = counter
+            return self._sorted_oids
 
     def total_size(self) -> int:
         """Return the total number of payload bytes stored (for benchmarks)."""
@@ -324,9 +346,10 @@ class ObjectStore:
             new_backend.write(oid, object_type, payload)
             moved += 1
         new_backend.flush()
-        self._backend = new_backend
-        self._cache.clear()
-        self._indexed_mutation = -1
+        with self._lock:
+            self._backend = new_backend
+            self._cache.clear()
+            self._indexed_mutation = -1
         return moved
 
     def pin(self, oids: Iterable[str]) -> StoreLease:
@@ -341,7 +364,9 @@ class ObjectStore:
     def pinned_oids(self) -> set[str]:
         """The union of every live lease's oids (what gc must not drop)."""
         pinned: set[str] = set()
-        for lease in self._leases:
+        with self._lock:
+            leases = list(self._leases)
+        for lease in leases:
             pinned |= lease.oids
         return pinned
 
@@ -356,9 +381,10 @@ class ObjectStore:
         keep = set(keep) | self.pinned_oids()
         removed = self._backend.gc(keep)
         if removed:
-            self._cache = OrderedDict(
-                (oid, obj) for oid, obj in self._cache.items() if oid in keep
-            )
+            with self._lock:
+                self._cache = OrderedDict(
+                    (oid, obj) for oid, obj in self._cache.items() if oid in keep
+                )
         return removed
 
     # -- transfer ----------------------------------------------------------

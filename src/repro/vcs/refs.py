@@ -5,11 +5,26 @@ A :class:`RefStore` maps branch and tag names to commit ids and tracks
 or *detached* (pointing directly at a commit id, used when checking out a
 historical version — exactly what the citation model does when it needs the
 citation function "of version V").
+
+Thread-safety contract
+----------------------
+Every mutation happens under the store's re-entrant :attr:`RefStore.lock`
+and bumps the monotonic :attr:`RefStore.version` counter.  Readers never
+take the lock — single name lookups are atomic dict operations and the
+``branches`` / ``tags`` properties return copies — which is what lets a
+hosted repository keep serving ref advertisements while a push is being
+applied.  Writers that need *compare-and-swap* semantics (concurrent pushes
+racing to move the same branch) either call
+:meth:`RefStore.compare_and_swap_branch` or run an optimistic loop: read
+:attr:`version`, validate against a snapshot, then re-check the version
+under the lock before committing (see
+:func:`repro.vcs.transfer.session.update_refs_from_bundle`).
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from typing import Optional
 
 from repro.errors import RefError
@@ -42,6 +57,23 @@ class RefStore:
         self._head_branch: Optional[str] = default_branch
         self._head_oid: Optional[str] = None
         self.default_branch = default_branch
+        #: Guards every mutation (re-entrant: mutators may nest).  Readers
+        #: do not take it — see the module docstring.
+        self.lock = threading.RLock()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation (the CAS snapshot token).
+
+        Read it before validating a batch of ref moves; if it is unchanged
+        once :attr:`lock` is held, no ref moved in between and the
+        validated batch can be committed atomically.
+        """
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # -- branches ----------------------------------------------------------
 
@@ -62,25 +94,50 @@ class RefStore:
     def set_branch(self, name: str, oid: str) -> None:
         """Create or move a branch to ``oid``."""
         validate_ref_name(name)
-        self._branches[name] = oid
+        with self.lock:
+            self._branches[name] = oid
+            self._bump()
+
+    def compare_and_swap_branch(self, name: str, expected: Optional[str], oid: str) -> bool:
+        """Move ``name`` to ``oid`` only if it currently points at ``expected``.
+
+        ``expected=None`` means "the branch must not exist yet".  Returns
+        ``False`` — moving nothing — when another writer got there first;
+        the caller re-reads, re-validates (fast-forward checks and all) and
+        retries.  This is the primitive that makes concurrent pushes safe
+        without serialising them: the expensive bundle verification happens
+        outside any lock, only the ref move itself is atomic.
+        """
+        validate_ref_name(name)
+        with self.lock:
+            current = self._branches.get(name)
+            if current != expected:
+                return False
+            self._branches[name] = oid
+            self._bump()
+            return True
 
     def delete_branch(self, name: str) -> None:
-        if name == self._head_branch:
-            raise RefError(f"cannot delete the currently checked-out branch {name!r}")
-        if name not in self._branches:
-            raise RefError(f"unknown branch: {name!r}")
-        del self._branches[name]
+        with self.lock:
+            if name == self._head_branch:
+                raise RefError(f"cannot delete the currently checked-out branch {name!r}")
+            if name not in self._branches:
+                raise RefError(f"unknown branch: {name!r}")
+            del self._branches[name]
+            self._bump()
 
     def rename_branch(self, old: str, new: str) -> None:
         validate_ref_name(new)
-        if new in self._branches:
-            raise RefError(f"branch already exists: {new!r}")
-        self._branches[new] = self.branch_target(old)
-        del self._branches[old]
-        if self._head_branch == old:
-            self._head_branch = new
-        if self.default_branch == old:
-            self.default_branch = new
+        with self.lock:
+            if new in self._branches:
+                raise RefError(f"branch already exists: {new!r}")
+            self._branches[new] = self.branch_target(old)
+            del self._branches[old]
+            if self._head_branch == old:
+                self._head_branch = new
+            if self.default_branch == old:
+                self.default_branch = new
+            self._bump()
 
     # -- tags --------------------------------------------------------------
 
@@ -90,9 +147,11 @@ class RefStore:
 
     def set_tag(self, name: str, oid: str) -> None:
         validate_ref_name(name)
-        if name in self._tags:
-            raise RefError(f"tag already exists: {name!r}")
-        self._tags[name] = oid
+        with self.lock:
+            if name in self._tags:
+                raise RefError(f"tag already exists: {name!r}")
+            self._tags[name] = oid
+            self._bump()
 
     def tag_target(self, name: str) -> str:
         try:
@@ -101,9 +160,11 @@ class RefStore:
             raise RefError(f"unknown tag: {name!r}") from None
 
     def delete_tag(self, name: str) -> None:
-        if name not in self._tags:
-            raise RefError(f"unknown tag: {name!r}")
-        del self._tags[name]
+        with self.lock:
+            if name not in self._tags:
+                raise RefError(f"unknown tag: {name!r}")
+            del self._tags[name]
+            self._bump()
 
     # -- HEAD --------------------------------------------------------------
 
@@ -125,22 +186,28 @@ class RefStore:
     def attach_head(self, branch: str) -> None:
         """Point HEAD at ``branch`` (which must exist unless the repo is empty)."""
         validate_ref_name(branch)
-        if self._branches and branch not in self._branches:
-            raise RefError(f"cannot attach HEAD to unknown branch {branch!r}")
-        self._head_branch = branch
-        self._head_oid = None
+        with self.lock:
+            if self._branches and branch not in self._branches:
+                raise RefError(f"cannot attach HEAD to unknown branch {branch!r}")
+            self._head_branch = branch
+            self._head_oid = None
+            self._bump()
 
     def detach_head(self, oid: str) -> None:
         """Point HEAD directly at a commit id."""
-        self._head_branch = None
-        self._head_oid = oid
+        with self.lock:
+            self._head_branch = None
+            self._head_oid = oid
+            self._bump()
 
     def advance_head(self, oid: str) -> None:
         """Move HEAD (and its branch, if attached) to a new commit id."""
-        if self._head_branch is not None:
-            self._branches[self._head_branch] = oid
-        else:
-            self._head_oid = oid
+        with self.lock:
+            if self._head_branch is not None:
+                self._branches[self._head_branch] = oid
+            else:
+                self._head_oid = oid
+            self._bump()
 
     # -- resolution ---------------------------------------------------------
 
@@ -158,10 +225,15 @@ class RefStore:
         raise RefError(f"unknown reference: {name!r}")
 
     def clone(self) -> "RefStore":
-        """Return an independent copy (used by repository clone/fork)."""
-        duplicate = RefStore(default_branch=self.default_branch)
-        duplicate._branches = dict(self._branches)
-        duplicate._tags = dict(self._tags)
-        duplicate._head_branch = self._head_branch
-        duplicate._head_oid = self._head_oid
-        return duplicate
+        """Return an independent copy (used by repository clone/fork).
+
+        Taken under the source's lock so a concurrent push cannot be caught
+        half-applied; the copy gets its own fresh lock and version counter.
+        """
+        with self.lock:
+            duplicate = RefStore(default_branch=self.default_branch)
+            duplicate._branches = dict(self._branches)
+            duplicate._tags = dict(self._tags)
+            duplicate._head_branch = self._head_branch
+            duplicate._head_oid = self._head_oid
+            return duplicate

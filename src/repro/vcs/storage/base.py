@@ -12,10 +12,23 @@ lazily sorted oid index records the counter value it was built against and
 rebuilds itself whenever the counter moved, so writes that bypass
 ``ObjectStore.put`` (raw transfers, migrations, direct backend writes) can
 never leave a stale prefix index behind.
+
+Thread-safety contract
+----------------------
+Backends are *single-writer-at-a-time, many-readers*: every state-changing
+operation (write, write_many, flush, gc, repack, migrate) runs under the
+backend's re-entrant :attr:`ObjectBackend._write_lock`, while readers take
+**no lock at all**.  That asymmetry is deliberate — a hosted repository must
+keep answering reads (clones, upload-pack negotiations) while a push is
+flushing a pack — and it obliges every mutator to leave the backend readable
+at all times: publish new state with single reference assignments, append
+before you clear, and never let a reader observe a half-swapped index.  The
+pack backend's atomically swapped ``(packs, midx)`` snapshot is the model.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Iterable, Iterator, Union
@@ -34,6 +47,9 @@ class ObjectBackend(ABC):
     def __init__(self) -> None:
         #: Monotonic counter bumped by every state-changing operation.
         self.mutation_counter = 0
+        #: Serialises mutators (re-entrant: flush inside repack inside gc).
+        #: Readers never take it — see the module docstring.
+        self._write_lock = threading.RLock()
 
     # -- core API ----------------------------------------------------------
 
@@ -106,12 +122,13 @@ class ObjectBackend(ABC):
 
     def gc(self, keep: set[str]) -> int:
         """Drop every object whose oid is not in ``keep``; return the count."""
-        victims = [oid for oid in list(self.iter_oids()) if oid not in keep]
-        for oid in victims:
-            self._delete(oid)
-        if victims:
-            self.mutation_counter += 1
-        return len(victims)
+        with self._write_lock:
+            victims = [oid for oid in list(self.iter_oids()) if oid not in keep]
+            for oid in victims:
+                self._delete(oid)
+            if victims:
+                self.mutation_counter += 1
+            return len(victims)
 
     def _delete(self, oid: str) -> None:  # pragma: no cover - overridden
         raise StorageError(f"{self.kind} backend cannot delete individual objects")

@@ -8,6 +8,11 @@ Each file holds ``zlib.compress(b"<type> <size>\\0" + payload)``.  Writes are
 atomic (temp file + ``os.replace``) and reads re-hash the payload against the
 file's oid, so silent on-disk corruption is detected at the first read
 instead of propagating into trees and commits.
+
+Writes take the backend write lock and only publish an oid into the known set
+*after* its file is atomically in place, so lock-free readers either miss the
+object entirely (KeyError, as if the write had not happened yet) or find a
+complete, verifiable file — never a torn one.
 """
 
 from __future__ import annotations
@@ -72,20 +77,22 @@ class LooseFileBackend(ObjectBackend):
     # -- core API ----------------------------------------------------------
 
     def write(self, oid: str, type_name: str, payload: bytes) -> bool:
-        if oid in self._known:
-            return False
-        header = f"{type_name} {len(payload)}\0".encode("ascii")
-        compressed = zlib.compress(header + payload)
-        target = self._path_for(oid)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic but not fsynced, matching git's loose-object durability:
-        # readers never see a torn object, and an object lost to a power cut
-        # before the OS flush is one fsck finds (the ref pointing at it is
-        # only durable once state.json — which *is* fsynced — lands).
-        atomicio.atomic_write_bytes(target, compressed, failpoint="storage.write")
-        self._known.add(oid)
-        self.mutation_counter += 1
-        return True
+        with self._write_lock:
+            if oid in self._known:
+                return False
+            header = f"{type_name} {len(payload)}\0".encode("ascii")
+            compressed = zlib.compress(header + payload)
+            target = self._path_for(oid)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic but not fsynced, matching git's loose-object durability:
+            # readers never see a torn object, and an object lost to a power
+            # cut before the OS flush is one fsck finds (the ref pointing at
+            # it is only durable once state.json — which *is* fsynced —
+            # lands).
+            atomicio.atomic_write_bytes(target, compressed, failpoint="storage.write")
+            self._known.add(oid)
+            self.mutation_counter += 1
+            return True
 
     def _load(self, oid: str) -> tuple[str, bytes]:
         path = self._path_for(oid)
@@ -165,21 +172,23 @@ class LooseFileBackend(ObjectBackend):
         return len(self._known)
 
     def iter_oids(self) -> Iterator[str]:
-        return iter(sorted(self._known))
+        # list() snapshots atomically; sorting the copy cannot race a writer.
+        return iter(sorted(list(self._known)))
 
     # -- maintenance -------------------------------------------------------
 
     def _delete(self, oid: str) -> None:
-        try:
-            self._path_for(oid).unlink()
-        except OSError:
-            pass
-        self._known.discard(oid)
+        with self._write_lock:
+            try:
+                self._path_for(oid).unlink()
+            except OSError:
+                pass
+            self._known.discard(oid)
 
     def on_disk_bytes(self) -> int:
         """Total compressed bytes currently stored under the root."""
         return sum(
-            self._path_for(oid).stat().st_size for oid in self._known
+            self._path_for(oid).stat().st_size for oid in list(self._known)
             if self._path_for(oid).is_file()
         )
 

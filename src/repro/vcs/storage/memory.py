@@ -2,6 +2,10 @@
 
 One dict entry per object — the fastest layout and the default for tests and
 the hosting-platform simulator, but bounded by RAM and gone on process exit.
+
+Writes take the backend write lock; reads are bare dict lookups (atomic under
+CPython) and ``iter_oids`` hands out a snapshot so concurrent writes cannot
+invalidate an in-flight iteration.
 """
 
 from __future__ import annotations
@@ -23,21 +27,23 @@ class MemoryBackend(ObjectBackend):
         self._objects: dict[str, tuple[str, bytes]] = {}
 
     def write(self, oid: str, type_name: str, payload: bytes) -> bool:
-        if oid in self._objects:
-            return False
-        self._objects[oid] = (type_name, payload)
-        self.mutation_counter += 1
-        return True
+        with self._write_lock:
+            if oid in self._objects:
+                return False
+            self._objects[oid] = (type_name, payload)
+            self.mutation_counter += 1
+            return True
 
     def write_many(self, records) -> int:
-        added = 0
-        for oid, type_name, payload in records:
-            if oid not in self._objects:
-                self._objects[oid] = (type_name, payload)
-                added += 1
-        if added:
-            self.mutation_counter += 1
-        return added
+        with self._write_lock:
+            added = 0
+            for oid, type_name, payload in records:
+                if oid not in self._objects:
+                    self._objects[oid] = (type_name, payload)
+                    added += 1
+            if added:
+                self.mutation_counter += 1
+            return added
 
     def read(self, oid: str) -> tuple[str, bytes]:
         return self._objects[oid]
@@ -55,13 +61,14 @@ class MemoryBackend(ObjectBackend):
         return len(self._objects)
 
     def iter_oids(self) -> Iterator[str]:
-        return iter(self._objects)
+        # Snapshot: a write landing mid-iteration must not blow up the caller.
+        return iter(list(self._objects))
 
     def _delete(self, oid: str) -> None:
         del self._objects[oid]
 
     def total_payload_size(self) -> int:
-        return sum(len(payload) for _, payload in self._objects.values())
+        return sum(len(payload) for _, payload in list(self._objects.values()))
 
     def stats(self) -> dict:
         return {

@@ -42,13 +42,25 @@ Two structures keep the read path flat as packs accumulate between repacks:
 * a **bounded handle pool**: pack file handles are opened lazily and kept in
   an LRU of at most ``handle_limit`` open files, so a store fragmented into
   many packs cannot hold one descriptor per pack forever.
+
+Concurrency: mutators (write, flush, repack, gc, close) run under the
+backend write lock; readers run lock-free against an immutable
+``(packs, midx)`` pair published in a single reference assignment
+(:attr:`PackBackend._state`), so a lookup can never pair a new multi-pack
+index with an old pack list or vice versa.  ``flush`` publishes the new
+state *before* dropping the pending buffer (an object is always findable in
+at least one of the two), and ``repack`` publishes before unlinking the
+stale packs — a reader that raced the swap and hit a just-unlinked file
+gets one retry against the fresh state.
 """
 
 from __future__ import annotations
 
 import hashlib
 import heapq
+import os
 import struct
+import threading
 import zlib
 from bisect import bisect_left
 from collections import OrderedDict
@@ -185,37 +197,50 @@ def _delta_worth_trying(base: bytes, target: bytes) -> bool:
 
 
 class _HandlePool:
-    """An LRU of open read handles, bounded to ``limit`` descriptors."""
+    """An LRU of open read handles, bounded to ``limit`` descriptors.
+
+    Thread-safe: the LRU bookkeeping runs under a lock, and record access
+    reads through :func:`os.pread` (no shared seek position), so one handle
+    can serve any number of reader threads.  A handle evicted or closed
+    while another thread is mid-read surfaces as ``OSError``/``ValueError``
+    there, which the backend's read retry re-acquires through a fresh open.
+    """
 
     def __init__(self, limit: int = _DEFAULT_HANDLE_LIMIT) -> None:
         self.limit = max(1, limit)
         self._handles: "OrderedDict[Path, BinaryIO]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def acquire(self, path: Path) -> BinaryIO:
-        handle = self._handles.get(path)
-        if handle is not None and not handle.closed:
-            self._handles.move_to_end(path)
+        with self._lock:
+            handle = self._handles.get(path)
+            if handle is not None and not handle.closed:
+                self._handles.move_to_end(path)
+                return handle
+            handle = path.open("rb")
+            self._handles[path] = handle
+            while len(self._handles) > self.limit:
+                _, evicted = self._handles.popitem(last=False)
+                evicted.close()
             return handle
-        handle = path.open("rb")
-        self._handles[path] = handle
-        while len(self._handles) > self.limit:
-            _, evicted = self._handles.popitem(last=False)
-            evicted.close()
-        return handle
 
     def discard(self, path: Path) -> None:
-        handle = self._handles.pop(path, None)
+        with self._lock:
+            handle = self._handles.pop(path, None)
         if handle is not None:
             handle.close()
 
     def close_all(self) -> None:
-        while self._handles:
-            _, handle = self._handles.popitem()
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
             handle.close()
 
     @property
     def open_count(self) -> int:
-        return sum(1 for handle in self._handles.values() if not handle.closed)
+        with self._lock:
+            return sum(1 for handle in self._handles.values() if not handle.closed)
 
 
 # ---------------------------------------------------------------------------
@@ -369,11 +394,23 @@ class _PackFile:
             self._handle = self.path.open("rb")
         return self._handle
 
+    def _read_at(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` without a shared seek position.
+
+        :func:`os.pread` keeps one pooled handle safe under any number of
+        concurrent readers (each call carries its own offset); the
+        seek+read fallback covers platforms without it, where the backend's
+        write lock is the only serialisation.
+        """
+        handle = self._file()
+        if hasattr(os, "pread"):
+            return os.pread(handle.fileno(), size, offset)
+        handle.seek(offset)
+        return handle.read(size)
+
     def read_record(self, offset: int) -> tuple[str, str, bytes, str | None]:
         """Return ``(kind, type, data, base oid)`` for the record at ``offset``."""
-        handle = self._file()
-        handle.seek(offset)
-        chunk = handle.read(_MAX_HEADER_BYTES)
+        chunk = self._read_at(offset, _MAX_HEADER_BYTES)
         newline = chunk.find(b"\n")
         if newline < 0:
             raise StorageError(f"unterminated record header in {self.path} at {offset}")
@@ -382,8 +419,9 @@ class _PackFile:
         base_oid = fields[4] if kind == "delta" else None
         compressed = chunk[newline + 1:newline + 1 + csize]
         if len(compressed) < csize:
-            handle.seek(offset + newline + 1 + len(compressed))
-            compressed += handle.read(csize - len(compressed))
+            compressed += self._read_at(
+                offset + newline + 1 + len(compressed), csize - len(compressed)
+            )
         try:
             data = zlib.decompress(compressed)
         except zlib.error as exc:
@@ -392,9 +430,7 @@ class _PackFile:
 
     def read_header(self, offset: int) -> tuple[str, str, str | None]:
         """Return ``(kind, type, base oid)`` without decompressing the data."""
-        handle = self._file()
-        handle.seek(offset)
-        chunk = handle.read(_MAX_HEADER_BYTES)
+        chunk = self._read_at(offset, _MAX_HEADER_BYTES)
         newline = chunk.find(b"\n")
         if newline < 0:
             raise StorageError(f"unterminated record header in {self.path} at {offset}")
@@ -606,55 +642,72 @@ class PackBackend(ObjectBackend):
         self._pending: dict[str, tuple[str, bytes]] = {}
         self._pool = _HandlePool(handle_limit)
         self._use_midx = use_midx
-        self._midx: _MultiPackIndex | None = None
-        self._packs: list[_PackFile] = []
+        packs: list[_PackFile] = []
         for pack_path in sorted(self.root.glob("pack-*.pack")):
-            self._packs.append(_PackFile(pack_path, pool=self._pool, defer_index=use_midx))
+            packs.append(_PackFile(pack_path, pool=self._pool, defer_index=use_midx))
+        midx: _MultiPackIndex | None = None
         if use_midx:
-            self._midx = _MultiPackIndex.load(
-                self.root, {pack.path.name for pack in self._packs}
-            )
-            if self._midx is not None:
+            midx = _MultiPackIndex.load(self.root, {pack.path.name for pack in packs})
+            if midx is not None:
                 # The midx's entries are keyed by its own (append-order)
                 # pack numbering; adopt that ordering.
-                by_name = {pack.path.name: pack for pack in self._packs}
-                self._packs = [by_name[name] for name in self._midx.pack_names]
+                by_name = {pack.path.name: pack for pack in packs}
+                packs = [by_name[name] for name in midx.pack_names]
             else:
                 # Missing/stale/corrupt: rebuild from the per-pack indexes
                 # (each itself recoverable by scanning its pack).
-                self._midx = _MultiPackIndex.build(
+                midx = _MultiPackIndex.build(
                     self.root,
-                    [(pack.path.name, pack.entries()) for pack in self._packs],
+                    [(pack.path.name, pack.entries()) for pack in packs],
                 )
+        #: The lock-free read view: an immutable (packs, midx) pair, always
+        #: replaced with a single reference assignment so readers can never
+        #: observe a midx whose pack numbers index a different pack list.
+        self._state: tuple[tuple[_PackFile, ...], _MultiPackIndex | None] = (
+            tuple(packs), midx,
+        )
+
+    @property
+    def _packs(self) -> tuple[_PackFile, ...]:
+        """The current pack list (read-only snapshot component)."""
+        return self._state[0]
+
+    @property
+    def _midx(self) -> _MultiPackIndex | None:
+        """The current multi-pack index (read-only snapshot component)."""
+        return self._state[1]
 
     # -- core API ----------------------------------------------------------
 
     def write(self, oid: str, type_name: str, payload: bytes) -> bool:
-        if oid in self:
-            return False
-        self._pending[oid] = (type_name, payload)
-        self.mutation_counter += 1
-        return True
+        with self._write_lock:
+            if oid in self:
+                return False
+            self._pending[oid] = (type_name, payload)
+            self.mutation_counter += 1
+            return True
 
     def write_many(self, records) -> int:
         """Batch writes into the pending buffer with one mutation bump."""
-        added = 0
-        for oid, type_name, payload in records:
-            if oid not in self:
-                self._pending[oid] = (type_name, payload)
-                added += 1
-        if added:
-            self.mutation_counter += 1
-        return added
+        with self._write_lock:
+            added = 0
+            for oid, type_name, payload in records:
+                if oid not in self:
+                    self._pending[oid] = (type_name, payload)
+                    added += 1
+            if added:
+                self.mutation_counter += 1
+            return added
 
     def _packed_lookup(self, oid: str) -> tuple[_PackFile, int] | None:
-        if self._midx is not None:
-            located = self._midx.lookup(oid)
+        packs, midx = self._state
+        if midx is not None:
+            located = midx.lookup(oid)
             if located is None:
                 return None
             pack_number, offset = located
-            return self._packs[pack_number], offset
-        for pack in self._packs:
+            return packs[pack_number], offset
+        for pack in packs:
             offset = pack.lookup(oid)
             if offset is not None:
                 return pack, offset
@@ -667,9 +720,10 @@ class PackBackend(ObjectBackend):
         is only trusted when it points into ``pack``; otherwise the pack's
         own index answers.
         """
-        if self._midx is not None:
-            located = self._midx.lookup(base_oid)
-            if located is not None and self._packs[located[0]] is pack:
+        packs, midx = self._state
+        if midx is not None:
+            located = midx.lookup(base_oid)
+            if located is not None and located[0] < len(packs) and packs[located[0]] is pack:
                 return located[1]
         return pack.lookup(base_oid)
 
@@ -690,23 +744,54 @@ class PackBackend(ObjectBackend):
             raise CorruptObjectError(oid, "payload does not hash to the indexed oid")
         return type_name, data
 
+    def _read_record(self, oid: str, reader):
+        """The lock-free read skeleton: pending buffer, then packed lookup.
+
+        ``reader(pack, offset)`` does the actual record access.  A reader
+        that raced a concurrent flush may find the oid in neither the
+        pending dict it snapshotted nor the state it looked up (the buffer
+        was dropped between the two); one that raced a repack may hit a
+        just-unlinked pack file (``OSError``), a pooled handle the repack
+        closed mid-read (``ValueError`` from the closed file object), or —
+        when an idempotent repack atomically replaced the pack *at the same
+        path* — a stale offset into the new file, which parses as garbage
+        (``StorageError``, ``CorruptObjectError``, ``IndexError``,
+        ``ValueError``).  Either way a single retry against the freshly
+        published state settles it — mutators hold the write lock, so at
+        most one swap was in flight.  An error that *survives* the retry is
+        re-raised as-is: at that point it is genuine corruption, not a race.
+        """
+        last_error: BaseException = KeyError(oid)
+        for _attempt in range(2):
+            pending = self._pending
+            if oid in pending:
+                try:
+                    return pending[oid], None
+                except KeyError:
+                    pass  # flush swapped the buffer between the check and the read
+            located = self._packed_lookup(oid)
+            if located is not None:
+                pack, offset = located
+                try:
+                    return None, reader(pack, offset)
+                except (OSError, ValueError, IndexError, StorageError, CorruptObjectError) as exc:
+                    last_error = exc
+                    continue
+        if isinstance(last_error, (KeyError, StorageError, CorruptObjectError)):
+            raise last_error
+        raise KeyError(oid) from last_error
+
     def read(self, oid: str) -> tuple[str, bytes]:
-        if oid in self._pending:
-            return self._pending[oid]
-        located = self._packed_lookup(oid)
-        if located is None:
-            raise KeyError(oid)
-        return self._read_packed(*located, oid)
+        buffered, packed = self._read_record(
+            oid, lambda pack, offset: self._read_packed(pack, offset, oid)
+        )
+        return buffered if buffered is not None else packed
 
     def read_type(self, oid: str) -> str:
-        if oid in self._pending:
-            return self._pending[oid][0]
-        located = self._packed_lookup(oid)
-        if located is None:
-            raise KeyError(oid)
-        pack, offset = located
-        _, type_name, _ = pack.read_header(offset)
-        return type_name
+        buffered, packed = self._read_record(
+            oid, lambda pack, offset: pack.read_header(offset)[1]
+        )
+        return buffered[0] if buffered is not None else packed
 
     def read_many(self, oids: Iterable[str]) -> Iterator[tuple[str, str, bytes]]:
         """Batched reads grouped per pack and sorted by record offset.
@@ -716,11 +801,12 @@ class PackBackend(ObjectBackend):
         seek — this is what serves the lazy worktree's whole-tree
         materialisation without churning the handle pool.
         """
+        pending = self._pending
         per_pack: dict[int, list[tuple[int, str]]] = {}
         packs_by_id: dict[int, _PackFile] = {}
         for oid in oids:
-            if oid in self._pending:
-                type_name, payload = self._pending[oid]
+            if oid in pending:
+                type_name, payload = pending[oid]
                 yield oid, type_name, payload
                 continue
             located = self._packed_lookup(oid)
@@ -732,21 +818,27 @@ class PackBackend(ObjectBackend):
         for pack_id, records in per_pack.items():
             pack = packs_by_id[pack_id]
             for offset, oid in sorted(records):
-                type_name, payload = self._read_packed(pack, offset, oid)
+                try:
+                    type_name, payload = self._read_packed(pack, offset, oid)
+                except (OSError, ValueError, IndexError, StorageError, CorruptObjectError):
+                    # A repack swapped the pack set (unlinked the file,
+                    # closed its pooled handle, or replaced it in place)
+                    # mid-batch; the single-read path re-resolves against
+                    # the fresh state and re-raises genuine corruption.
+                    type_name, payload = self.read(oid)
                 yield oid, type_name, payload
 
     def read_size(self, oid: str) -> int:
         """Logical payload size from the record alone — full records report
         their decompressed length, delta records the length their opcodes
         encode; neither applies the delta or re-verifies the hash."""
-        if oid in self._pending:
-            return len(self._pending[oid][1])
-        located = self._packed_lookup(oid)
-        if located is None:
-            raise KeyError(oid)
-        pack, offset = located
-        kind, _, data, _ = pack.read_record(offset)
-        return delta_output_length(data) if kind == "delta" else len(data)
+
+        def sized(pack: _PackFile, offset: int) -> int:
+            kind, _, data, _ = pack.read_record(offset)
+            return delta_output_length(data) if kind == "delta" else len(data)
+
+        buffered, packed = self._read_record(oid, sized)
+        return len(buffered[1]) if buffered is not None else packed
 
     def __contains__(self, oid: str) -> bool:
         return oid in self._pending or self._packed_lookup(oid) is not None
@@ -756,11 +848,16 @@ class PackBackend(ObjectBackend):
 
     def iter_oids(self) -> Iterator[str]:
         """All oids in sorted order (merge of pending + packed indexes)."""
-        streams: list[Iterable[str]] = [sorted(self._pending)]
-        if self._midx is not None:
-            streams.append(self._midx.oids)
+        # One coherent snapshot up front: the pending buffer reference and
+        # the (packs, midx) pair, so a concurrent flush/repack cannot make
+        # oids flicker in and out mid-iteration.
+        pending = self._pending
+        packs, midx = self._state
+        streams: list[Iterable[str]] = [sorted(pending)]
+        if midx is not None:
+            streams.append(midx.oids)
         else:
-            streams.extend(pack.oids for pack in self._packs)
+            streams.extend(pack.oids for pack in packs)
         previous = None
         for oid in heapq.merge(*streams):
             if oid != previous:
@@ -852,39 +949,49 @@ class PackBackend(ObjectBackend):
         )
         return self._write_pack_stream(ordered, objects.__getitem__)
 
-    def _rebuild_midx(self, appended: _PackFile | None = None) -> None:
-        """Refresh the multi-pack index after the pack set changed.
+    def _build_midx(
+        self, packs: tuple[_PackFile, ...], appended: _PackFile | None = None
+    ) -> _MultiPackIndex | None:
+        """Build the multi-pack index for a prospective pack set.
 
         Appending a pack merges the previous midx with the new pack's
-        entries — older packs' ``.idx`` files are not re-read.
+        entries — older packs' ``.idx`` files are not re-read.  Pure with
+        respect to the backend: the caller publishes the result together
+        with ``packs`` in one state swap.
         """
         if not self._use_midx:
-            return
+            return None
+        current = self._state[1]
         if (
             appended is not None
-            and self._midx is not None
-            and self._midx.pack_names == [p.path.name for p in self._packs[:-1]]
+            and current is not None
+            and current.pack_names == [p.path.name for p in packs[:-1]]
         ):
-            streams = list(zip(self._midx.pack_names, self._midx.entries_by_pack()))
+            streams = list(zip(current.pack_names, current.entries_by_pack()))
             streams.append((appended.path.name, list(appended.entries())))
         else:
-            streams = [(pack.path.name, pack.entries()) for pack in self._packs]
-        self._midx = _MultiPackIndex.build(self.root, streams)
+            streams = [(pack.path.name, pack.entries()) for pack in packs]
+        return _MultiPackIndex.build(self.root, streams)
 
     def flush(self) -> None:
         """Append pending objects as a new pack file (and refresh the midx)."""
-        if not self._pending:
-            return
-        new_pack = self._write_pack(self._pending)
-        self._packs.append(new_pack)
-        self._pending = {}
-        self._rebuild_midx(appended=new_pack)
+        with self._write_lock:
+            if not self._pending:
+                return
+            new_pack = self._write_pack(self._pending)
+            packs = self._state[0] + (new_pack,)
+            self._state = (packs, self._build_midx(packs, appended=new_pack))
+            # Drop the buffer only after the new state is visible: a reader
+            # finds every flushed oid in the old pending dict it snapshotted
+            # or in the just-published pack — never in neither.
+            self._pending = {}
 
     def close(self) -> None:
-        self.flush()
-        for pack in self._packs:
-            pack.close()
-        self._pool.close_all()
+        with self._write_lock:
+            self.flush()
+            for pack in self._state[0]:
+                pack.close()
+            self._pool.close_all()
 
     def open_file_handles(self) -> int:
         """How many pack file handles are currently open (pool-bounded)."""
@@ -902,43 +1009,48 @@ class PackBackend(ObjectBackend):
         deleted, so a crash or full disk mid-repack never loses objects;
         only the delta window is held in memory, never the whole store.
         """
-        before = self.stats()
-        self.flush()
-        survivors = [
-            oid for oid in self.iter_oids() if keep is None or oid in keep
-        ]
+        with self._write_lock:
+            before = self.stats()
+            self.flush()
+            survivors = [
+                oid for oid in self.iter_oids() if keep is None or oid in keep
+            ]
 
-        def describe(oid: str) -> tuple[str, int]:
-            # Type + logical size from the record alone: one decompression,
-            # no delta application, no hash verification — the sizing pass
-            # must not double the full read cost of the write pass.
-            pack, offset = self._packed_lookup(oid)
-            kind, type_name, data, _ = pack.read_record(offset)
-            size = delta_output_length(data) if kind == "delta" else len(data)
-            return type_name, size
+            def describe(oid: str) -> tuple[str, int]:
+                # Type + logical size from the record alone: one
+                # decompression, no delta application, no hash verification —
+                # the sizing pass must not double the full read cost of the
+                # write pass.
+                pack, offset = self._packed_lookup(oid)
+                kind, type_name, data, _ = pack.read_record(offset)
+                size = delta_output_length(data) if kind == "delta" else len(data)
+                return type_name, size
 
-        ordered = self._delta_order(survivors, describe)
-        old_packs = self._packs
-        new_pack = (
-            self._write_pack_stream(ordered, self.read, failpoint="pack.repack")
-            if ordered
-            else None
-        )
-        for pack in old_packs:
-            pack.close()
-            if new_pack is not None and pack.path == new_pack.path:
-                continue  # idempotent repack: replaced atomically in place
-            for stale in (pack.path, pack.index_path):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
-        self._packs = [new_pack] if new_pack is not None else []
-        self._rebuild_midx()
-        dropped = before["objects"] - len(ordered)
-        if dropped:
-            self.mutation_counter += 1
-        after = self.stats()
+            ordered = self._delta_order(survivors, describe)
+            old_packs = self._state[0]
+            new_pack = (
+                self._write_pack_stream(ordered, self.read, failpoint="pack.repack")
+                if ordered
+                else None
+            )
+            # Publish the replacement view *before* unlinking the stale
+            # packs: a reader that raced the swap at worst touches a
+            # just-unlinked file and retries against this state.
+            packs = (new_pack,) if new_pack is not None else ()
+            self._state = (packs, self._build_midx(packs))
+            for pack in old_packs:
+                pack.close()
+                if new_pack is not None and pack.path == new_pack.path:
+                    continue  # idempotent repack: replaced atomically in place
+                for stale in (pack.path, pack.index_path):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+            dropped = before["objects"] - len(ordered)
+            if dropped:
+                self.mutation_counter += 1
+            after = self.stats()
         return {
             "objects_before": before["objects"],
             "objects_after": len(ordered),

@@ -193,6 +193,12 @@ def apply_bundle(store: ObjectStore, data) -> ApplyResult:
     )
 
 
+#: How often a ref-update transaction re-validates before giving up.  Each
+#: retry means another writer committed between our validation and our lock
+#: acquisition; the bound only exists to turn a livelock bug into an error.
+_REF_CAS_MAX_ATTEMPTS = 64
+
+
 def update_refs_from_bundle(
     repo, bundle: Bundle, force: bool = False, branches=None
 ) -> dict[str, str]:
@@ -205,6 +211,16 @@ def update_refs_from_bundle(
     changes, so one rejected branch cannot leave the others half-applied.
     The working tree is refreshed when the currently checked-out branch
     moved.  Returns ``{ref name: new oid}`` for everything that changed.
+
+    Concurrency: the update is an optimistic compare-and-swap transaction
+    against :attr:`~repro.vcs.refs.RefStore.version`.  Validation (ancestry
+    walks, object presence — the expensive part) runs without any lock
+    against a version snapshot; the moves are committed under the ref
+    store's lock only if no other writer committed in between, otherwise
+    validation restarts against the new tips.  Two pushes racing the same
+    branch therefore resolve exactly like sequential pushes: one wins, the
+    other re-validates and is accepted (still fast-forward) or rejected
+    (diverged) — an *acknowledged* update can never be silently overwritten.
     """
     from repro.vcs.merge import is_ancestor_commit
     from repro.vcs.refs import validate_ref_name
@@ -217,52 +233,63 @@ def update_refs_from_bundle(
         except RefError as exc:
             raise BundleError(f"bundle carries an illegal ref name: {name!r}") from exc
 
-    branch_moves: dict[str, str] = {}
-    for name, oid in sorted(bundle.branches.items()):
-        if branches is not None and name not in branches:
-            continue
-        checked_name(name)
-        if oid not in repo.store:
-            raise BundleError(f"bundle names branch {name!r} at {oid}, which was not transferred")
-        if repo.refs.has_branch(name):
-            current = repo.refs.branch_target(name)
-            if current == oid:
+    for _attempt in range(_REF_CAS_MAX_ATTEMPTS):
+        snapshot = repo.refs.version
+        branch_moves: dict[str, str] = {}
+        for name, oid in sorted(bundle.branches.items()):
+            if branches is not None and name not in branches:
                 continue
-            if not force and not is_ancestor_commit(repo.store, current, oid):
-                raise RemoteError(
-                    f"refusing non-fast-forward update of branch {name!r} "
-                    "(fetch and merge first, or force)"
-                )
-        branch_moves[name] = oid
-    tag_deletes: list[str] = []
-    tag_moves: dict[str, str] = {}
-    for name, oid in sorted(bundle.tags.items()):
-        checked_name(name)
-        existing = repo.refs.tags.get(name)
-        if existing == oid:
-            continue
-        if existing is not None:
-            if not force:
-                raise RemoteError(f"refusing to move existing tag {name!r}")
-            tag_deletes.append(name)
-        if oid not in repo.store:
-            raise BundleError(f"bundle names tag {name!r} at {oid}, which was not transferred")
-        tag_moves[name] = oid
+            checked_name(name)
+            if oid not in repo.store:
+                raise BundleError(f"bundle names branch {name!r} at {oid}, which was not transferred")
+            if repo.refs.has_branch(name):
+                current = repo.refs.branch_target(name)
+                if current == oid:
+                    continue
+                if not force and not is_ancestor_commit(repo.store, current, oid):
+                    raise RemoteError(
+                        f"refusing non-fast-forward update of branch {name!r} "
+                        "(fetch and merge first, or force)"
+                    )
+            branch_moves[name] = oid
+        tag_deletes: list[str] = []
+        tag_moves: dict[str, str] = {}
+        for name, oid in sorted(bundle.tags.items()):
+            checked_name(name)
+            existing = repo.refs.tags.get(name)
+            if existing == oid:
+                continue
+            if existing is not None:
+                if not force:
+                    raise RemoteError(f"refusing to move existing tag {name!r}")
+                tag_deletes.append(name)
+            if oid not in repo.store:
+                raise BundleError(f"bundle names tag {name!r} at {oid}, which was not transferred")
+            tag_moves[name] = oid
 
-    updated: dict[str, str] = {}
-    for name, oid in branch_moves.items():
-        repo.refs.set_branch(name, oid)
-        updated[name] = oid
-    for name in tag_deletes:
-        repo.refs.delete_tag(name)
-    for name, oid in tag_moves.items():
-        repo.refs.set_tag(name, oid)
-        # A tag sharing a moved branch's name must not clobber the branch
-        # entry in the report (branch and tag namespaces are separate).
-        updated.setdefault(name, oid)
-    # Refresh the working tree only when the checked-out *branch* moved — a
-    # tag that merely shares its name must not trigger a checkout (which
-    # would silently revert uncommitted working-tree edits).
-    if repo.current_branch in branch_moves:
-        repo.checkout(repo.current_branch)
-    return updated
+        with repo.refs.lock:
+            if repo.refs.version != snapshot:
+                continue  # another writer committed; re-validate against the new tips
+            updated: dict[str, str] = {}
+            for name, oid in branch_moves.items():
+                repo.refs.set_branch(name, oid)
+                updated[name] = oid
+            for name in tag_deletes:
+                repo.refs.delete_tag(name)
+            for name, oid in tag_moves.items():
+                repo.refs.set_tag(name, oid)
+                # A tag sharing a moved branch's name must not clobber the
+                # branch entry in the report (namespaces are separate).
+                updated.setdefault(name, oid)
+            # Refresh the working tree only when the checked-out *branch*
+            # moved — a tag that merely shares its name must not trigger a
+            # checkout (which would silently revert uncommitted edits).
+            # Inside the lock: the worktree install must see exactly the
+            # tips this transaction committed.
+            if repo.current_branch in branch_moves:
+                repo.checkout(repo.current_branch)
+        return updated
+    raise RemoteError(
+        "ref update starved: the ref store kept changing during "
+        f"{_REF_CAS_MAX_ATTEMPTS} validation attempts"
+    )
