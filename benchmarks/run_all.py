@@ -51,6 +51,7 @@ from repro.cli.storage import load_repository, save_repository  # noqa: E402
 from repro.citation.retro import AttributionIndex, FileAttribution  # noqa: E402
 from repro.errors import RemoteError, ValidationError  # noqa: E402
 from repro.hub.api import RestApi  # noqa: E402
+from repro.hub.durability import PushJournal, journal_path, recover_working_copy  # noqa: E402
 from repro.hub.httpd import HttpTransport, HubHttpServer  # noqa: E402
 from repro.hub.ratelimit import RateLimiter  # noqa: E402
 from repro.hub.retry import RetryingApi, RetryPolicy  # noqa: E402
@@ -1128,6 +1129,116 @@ def bench_concurrent_push_pull(clients: int = 8, rounds: int = 3) -> dict:
     }
 
 
+def bench_serve_durable_push(pushes: int = 40, flush_every: int = 8) -> dict:
+    """Write-ahead journalled pushes over a live socket, plus a crash audit.
+
+    PR 8 makes ``gitcite serve`` persist every acknowledged push to a
+    write-ahead journal before the 2xx leaves the socket.  Durability is not
+    free — the question this scenario answers is *how much* it costs and
+    whether the contract actually holds:
+
+    * **baseline** — the seed's serving path: a push storm over a live
+      :class:`~repro.hub.httpd.HubHttpServer` with no journal attached
+      (acknowledgements live only in memory until a clean shutdown).
+    * **optimized** — the same storm with a write-behind
+      :class:`~repro.hub.durability.PushJournal` attached (fsync every
+      ``flush_every`` records).  The CI floor is a *ratio*, not a speedup:
+      journalled serving must stay within 2x of journal-free serving
+      (``min_speedup: 0.5``).
+    * **crash audit** — a third storm in fully durable mode (fsync per
+      append), after which the server state is abandoned exactly as a
+      ``kill -9`` would leave it: no save, no drain.  Startup recovery
+      replays the journal onto the last checkpoint and the scenario counts
+      ``lost_acknowledged`` — acknowledged pushes missing after recovery.
+      The CI floor is **zero**.
+    """
+    slug = "alice/durable"
+
+    def build_root(base: Path, name: str) -> Path:
+        root = base / name
+        repo = Repository.init("durable", "alice")
+        repo.write_file("README.md", "durable bench\n")
+        repo.commit("initial", author_name="alice")
+        save_repository(repo, root)
+        return root
+
+    def hosted(root: Path, journal: PushJournal | None):
+        platform = HostingPlatform(rate_limiter=RateLimiter(enabled=False))
+        platform.host_repository(load_repository(root))
+        if journal is not None:
+            platform.attach_journal(slug, journal)
+        return platform, platform.issue_token("alice").value
+
+    def push_storm(url: str, token: str) -> list[str]:
+        wire = HttpTransport(url, timeout=30)
+        remote = HubRemote(wire, slug, token=token)
+        local = remote.clone()
+        acknowledged: list[str] = []
+        for index in range(pushes):
+            local.write_file(f"push-{index}.txt", f"payload {index}\n")
+            tip = local.commit(f"push {index}", author_name="alice")
+            remote.push(local)
+            acknowledged.append(tip)
+        return acknowledged
+
+    with tempfile.TemporaryDirectory(prefix="bench-durable-") as tmp:
+        base = Path(tmp)
+
+        # Baseline: no journal — the pre-PR-8 serving path.
+        root = build_root(base, "baseline")
+        platform, token = hosted(root, journal=None)
+        baseline_acked: list[str] = []
+        with HubHttpServer(RestApi(platform)) as server:
+            url = server.url
+            baseline_s = _timed(lambda: baseline_acked.extend(push_storm(url, token)))
+
+        # Optimized: write-behind journal — batched fsyncs on the ack path.
+        root = build_root(base, "write-behind")
+        with PushJournal(journal_path(root), durable=False, flush_every=flush_every) as journal:
+            platform, token = hosted(root, journal)
+            behind_acked: list[str] = []
+            with HubHttpServer(RestApi(platform)) as server:
+                url = server.url
+                optimized_s = _timed(lambda: behind_acked.extend(push_storm(url, token)))
+            journal.flush()
+
+        # Crash audit: durable mode, then die without saving and recover.
+        root = build_root(base, "durable")
+        journal = PushJournal(journal_path(root), durable=True)
+        platform, token = hosted(root, journal)
+        with HubHttpServer(RestApi(platform)) as server:
+            url = server.url
+            durable_acked = push_storm(url, token)
+        journal.close()  # kill -9: the platform's in-memory state is gone
+        del platform
+
+        survivor, recovery = recover_working_copy(root)
+        final_tip = survivor.refs.branch_target("main")
+        lost = sum(
+            1
+            for oid in durable_acked
+            if not is_ancestor_commit(survivor.store, oid, final_tip)
+        )
+
+    identical = (
+        len(baseline_acked) == pushes
+        and len(behind_acked) == pushes
+        and len(durable_acked) == pushes
+        and final_tip == durable_acked[-1]
+        and not recovery.degraded
+    )
+    return {
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / optimized_s,
+        "outputs_identical": identical,
+        "pushes": pushes,
+        "flush_every": flush_every,
+        "journal_records_replayed": recovery.records_replayed,
+        "lost_acknowledged": lost,
+    }
+
+
 SCENARIOS = {
     "bulk_addcite_1k": bench_bulk_addcite,
     "repeated_cite_at_ref": bench_cite_at_ref,
@@ -1145,6 +1256,7 @@ SCENARIOS = {
     "pull_after_divergence": bench_pull_after_divergence,
     "fsck_5k": bench_fsck,
     "concurrent_push_pull": bench_concurrent_push_pull,
+    "serve_durable_push": bench_serve_durable_push,
 }
 
 

@@ -194,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port to listen on (0 = ephemeral; default: 8943)")
     p.add_argument("--no-rate-limit", action="store_true",
                    help="disable the GitHub-style request quotas")
+    p.add_argument("--write-behind", action="store_true",
+                   help="batch journal fsyncs instead of syncing every acknowledged "
+                        "push (higher throughput, bounded loss window on kill -9)")
+    p.add_argument("--flush-every", type=int, default=8,
+                   help="write-behind mode: fsync the journal every N records (default: 8)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="concurrent requests before shedding with retryable 503 (default: 64)")
+    p.add_argument("--max-body-mb", type=int, default=64,
+                   help="largest request body accepted, in MiB (default: 64)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request socket timeout and deadline, seconds (default: 30)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to wait for in-flight requests at shutdown (default: 10)")
     p.set_defaults(func=serve.cmd_serve)
 
     p = sub.add_parser("storage", help="object-store maintenance (repack / gc / migrate)")

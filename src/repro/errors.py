@@ -31,6 +31,7 @@ __all__ = [
     "NotFoundError",
     "ValidationError",
     "TransferCorruptError",
+    "ServiceUnavailableError",
     "RateLimitExceededError",
     "CitationError",
     "CitationNotFoundError",
@@ -189,6 +190,25 @@ class TransferCorruptError(ValidationError):
     """
 
     retryable = True
+
+
+class ServiceUnavailableError(HubError):
+    """The hub cannot serve this request right now (HTTP 503).
+
+    Raised for the three lifecycle conditions that heal without the client
+    changing anything: the server is draining for shutdown, the in-flight
+    gauge shed the request under overload, or the hub is running degraded
+    (read-only) after a disk failure or an unclean recovery.  Always
+    retryable; ``retry_after`` hints how long to back off before the
+    retry has a chance.
+    """
+
+    status_code = 503
+    retryable = True
+
+    def __init__(self, message: str = "service unavailable", retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RateLimitExceededError(HubError):

@@ -117,6 +117,8 @@ _CANONICAL = (
     "bundle.apply",    # verified objects about to land in the store
     "wire.request",    # REST request leaving the client
     "wire.response",   # REST response returning to the client
+    "journal.append",  # write-ahead push journal append (serve durability)
+    "serve.recover",   # per-record journal replay during serve startup
 )
 
 _hits: dict[str, int] = {name: 0 for name in _CANONICAL}

@@ -19,19 +19,29 @@ offline and deterministic:
   spoken entirely over the three ``git/*`` wire endpoints;
 * :mod:`httpd` — :class:`~repro.hub.httpd.HubHttpServer`, the same REST API
   behind a real threaded TCP socket, and
-  :class:`~repro.hub.httpd.HttpTransport`, the matching wire client.
+  :class:`~repro.hub.httpd.HttpTransport`, the matching wire client;
+* :mod:`durability` — the write-ahead push journal and the serve-startup
+  recovery pipeline (``gitcite serve`` persists every acknowledged
+  mutation before its 2xx leaves the socket);
+* :mod:`lifecycle` — drain, overload shedding, degraded read-only mode and
+  the ``/healthz`` probe around any ``RestApi``-shaped object.
 
 Since PR 7 the whole stack is **concurrency-safe**: the platform serialises
 per-repository mutations, ref updates are compare-and-swap with optimistic
 retry, storage backends take a store-level write lock that readers do not
 block on, and the token authority and rate limiter lock their counters.
-``docs/ARCHITECTURE.md`` documents the contract layer by layer.
+PR 8 makes the served hub **crash-durable and operable**: write-ahead
+acknowledgements, graceful SIGTERM/SIGINT drain, and retryable-503 shedding
+under overload or degradation.  ``docs/ARCHITECTURE.md`` documents the
+contract layer by layer; ``docs/OPERATIONS.md`` has the runbook.
 """
 
 from repro.hub.models import AccessToken, HostedRepository, Permission, User
 from repro.hub.server import HostingPlatform
 from repro.hub.api import ApiResponse, RestApi
+from repro.hub.durability import PushJournal, RecoveryReport, recover_working_copy
 from repro.hub.httpd import HubHttpServer, HttpTransport, serve_platform
+from repro.hub.lifecycle import GuardedApi, ServingState, drain
 from repro.hub.retry import RetryingApi, RetryPolicy
 from repro.hub.sync import HubRemote
 
@@ -43,9 +53,15 @@ __all__ = [
     "HostingPlatform",
     "ApiResponse",
     "RestApi",
+    "PushJournal",
+    "RecoveryReport",
+    "recover_working_copy",
     "HubHttpServer",
     "HttpTransport",
     "serve_platform",
+    "GuardedApi",
+    "ServingState",
+    "drain",
     "RetryingApi",
     "RetryPolicy",
     "HubRemote",

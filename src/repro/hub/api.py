@@ -126,6 +126,19 @@ class RestApi:
                 status=500,
                 json={"message": f"internal storage error: {exc}", "retryable": True},
             )
+        except OSError as exc:
+            # A raw disk failure mid-request (full disk, yanked volume) that
+            # no layer translated.  The request may be re-sent once the disk
+            # recovers — the wire endpoints are idempotent — so it sheds as
+            # a retryable 503 rather than tearing down the handler thread.
+            return ApiResponse(
+                status=503,
+                json={
+                    "message": f"server disk failure: {exc}",
+                    "retryable": True,
+                    "retry_after": 5.0,
+                },
+            )
 
     # Convenience verbs ---------------------------------------------------
 

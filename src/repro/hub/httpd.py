@@ -44,6 +44,8 @@ HTTP mapping
 from __future__ import annotations
 
 import json
+import os
+import sys
 import threading
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -51,9 +53,22 @@ from typing import Optional
 from urllib.parse import urlsplit
 
 from repro.errors import ReproError, TransportError
+from repro.faults import SimulatedCrash
 from repro.hub.api import ApiResponse, RestApi
 
 __all__ = ["HubHttpServer", "HttpTransport", "serve_platform"]
+
+#: Sockets a handler will wait on before giving up on a stalled client.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+#: Largest request body the server will read (a receive-pack bundle).
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Largest response body the client transport will buffer.
+DEFAULT_MAX_RESPONSE_BYTES = 256 * 1024 * 1024
+
+
+#: Socket-level failures a request thread absorbs quietly: the client
+#: vanished or stalled, which is its prerogative, not a server fault.
+_CLIENT_GONE = (BrokenPipeError, ConnectionResetError, TimeoutError)
 
 
 class _HubRequestHandler(BaseHTTPRequestHandler):
@@ -61,6 +76,13 @@ class _HubRequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "gitcite-hub/1.0"
+
+    def setup(self) -> None:
+        # A per-connection socket timeout: a client that stops sending (or
+        # reading) mid-exchange gets its connection dropped instead of
+        # pinning this handler thread forever.
+        self.timeout = self.server.request_timeout
+        super().setup()
 
     def _token(self) -> Optional[str]:
         header = self.headers.get("Authorization")
@@ -72,10 +94,36 @@ class _HubRequestHandler(BaseHTTPRequestHandler):
 
     def _read_payload(self):
         """Return ``(ok, payload)``; a malformed body answers 400 itself."""
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send(400, {"message": "invalid Content-Length header", "retryable": False})
+            return False, None
         if not length:
             return True, None
+        if length > self.server.max_body_bytes:
+            # The 413 analogue, shaped as the protocol's 422 rejection: the
+            # body is refused *before* it is read, the payload is told it is
+            # not retryable (re-sending the same oversized bundle cannot
+            # succeed), and the connection is closed so the unread bytes
+            # cannot poison a keep-alive successor request.
+            self.close_connection = True
+            self._send(
+                422,
+                {
+                    "message": (
+                        f"request body of {length} bytes exceeds the server's "
+                        f"{self.server.max_body_bytes}-byte limit"
+                    ),
+                    "retryable": False,
+                },
+            )
+            return False, None
         raw = self.rfile.read(length)
+        if len(raw) < length:
+            # Truncated upload (client died mid-body): nothing to answer.
+            self.close_connection = True
+            return False, None
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
@@ -90,13 +138,25 @@ class _HubRequestHandler(BaseHTTPRequestHandler):
         return True, payload
 
     def _dispatch(self, method: str) -> None:
-        ok, payload = self._read_payload()
+        try:
+            ok, payload = self._read_payload()
+        except _CLIENT_GONE:
+            self.close_connection = True
+            return
         if not ok:
             return
         try:
             response = self.server.api.request(
                 method, self.path, token=self._token(), payload=payload
             )
+        except SimulatedCrash:
+            # In a real process a crash in a request thread takes the whole
+            # server with it.  ``gitcite serve`` opts in (the chaos suite's
+            # in-process kill points); in-process test servers keep the
+            # default and let the crash surface to the spawning test.
+            if self.server.exit_on_crash:
+                os._exit(70)
+            raise
         except ReproError as exc:
             # RestApi already maps hub errors to statuses; anything that
             # still escapes (an armed wire failpoint, an unexpected internal
@@ -107,14 +167,18 @@ class _HubRequestHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body) -> None:
         data = json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
         try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
             self.wfile.write(data)
-        except (BrokenPipeError, ConnectionResetError):  # client went away
-            pass
+        except _CLIENT_GONE:
+            # The client disconnected (or stalled past the socket timeout)
+            # while we were answering.  That is not a server-side failure:
+            # the request itself completed, so no traceback, no error mark —
+            # just drop the connection.
+            self.close_connection = True
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -154,11 +218,34 @@ class HubHttpServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, api, host: str = "127.0.0.1", port: int = 0, log=None) -> None:
+    def __init__(
+        self,
+        api,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log=None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        exit_on_crash: bool = False,
+    ) -> None:
         super().__init__((host, port), _HubRequestHandler)
         self.api = api
         self.log = log
+        #: Per-connection socket timeout (None disables; stalls pin threads).
+        self.request_timeout = request_timeout
+        #: Hard cap on request bodies (oversized receive-pack → 422).
+        self.max_body_bytes = max_body_bytes
+        #: ``gitcite serve`` sets this: a :class:`SimulatedCrash` escaping a
+        #: request thread kills the whole process, like a real crash would.
+        self.exit_on_crash = exit_on_crash
         self._thread: Optional[threading.Thread] = None
+
+    def handle_error(self, request, client_address) -> None:
+        """Client disconnects and stalls are routine, not tracebacks."""
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _CLIENT_GONE):
+            return
+        super().handle_error(request, client_address)
 
     @property
     def host(self) -> str:
@@ -215,11 +302,28 @@ class HttpTransport:
     Socket-level failures raise :class:`~repro.errors.TransportError`
     (always retryable — the server may or may not have acted, which is the
     ambiguity :class:`~repro.hub.retry.RetryingApi` plus the idempotent
-    wire endpoints resolve).  Non-2xx responses are *returned*, not raised,
-    exactly like the in-process :class:`RestApi`.
+    wire endpoints resolve).  The error message names the phase that died —
+    ``connect`` (the server never saw the request; a retry is free) versus
+    ``request/read`` (the server may have acted; the retry leans on endpoint
+    idempotence).  Non-2xx responses are *returned*, not raised, exactly
+    like the in-process :class:`RestApi`.
+
+    ``max_response_bytes`` bounds how much response body the transport will
+    buffer: a huge (or hostile — Content-Length lies, the stream just keeps
+    coming) response raises :class:`TransportError` instead of growing RAM
+    without limit.  ``connect_timeout`` defaults to ``timeout`` but can be
+    set tighter — connection establishment to a dead host should fail in
+    seconds even when reads of a slow-but-live server are allowed minutes.
     """
 
-    def __init__(self, base: str, port: Optional[int] = None, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base: str,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        max_response_bytes: int = DEFAULT_MAX_RESPONSE_BYTES,
+    ) -> None:
         if "//" in base:
             split = urlsplit(base)
             self.host = split.hostname or "127.0.0.1"
@@ -228,6 +332,24 @@ class HttpTransport:
             self.host = base
             self.port = port or 80
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.max_response_bytes = max_response_bytes
+
+    def _read_capped(self, response, method: str, url: str) -> bytes:
+        """Drain the response body, refusing to buffer past the cap."""
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            chunk = response.read(65536)
+            if not chunk:
+                return b"".join(chunks)
+            total += len(chunk)
+            if total > self.max_response_bytes:
+                raise TransportError(
+                    f"{method} {url}: response body exceeds the "
+                    f"{self.max_response_bytes}-byte client limit"
+                )
+            chunks.append(chunk)
 
     def request(
         self,
@@ -243,14 +365,29 @@ class HttpTransport:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection = HTTPConnection(self.host, self.port, timeout=self.connect_timeout)
         try:
-            connection.request(method.upper(), url, body=body, headers=headers)
-            response = connection.getresponse()
-            status = response.status
-            raw = response.read()
-        except (OSError, HTTPException) as exc:
-            raise TransportError(f"{method} {url}: {exc}") from exc
+            try:
+                connection.connect()
+            except (OSError, HTTPException) as exc:
+                reason = "connect timeout" if isinstance(exc, TimeoutError) else "connect failed"
+                raise TransportError(
+                    f"{method} {url}: {reason} "
+                    f"({self.host}:{self.port}, {self.connect_timeout:.1f}s): {exc}"
+                ) from exc
+            # Connected: the remaining socket operations (send, await the
+            # response, drain the body) run under the read timeout.
+            connection.sock.settimeout(self.timeout)
+            try:
+                connection.request(method.upper(), url, body=body, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                raw = self._read_capped(response, method, url)
+            except (OSError, HTTPException) as exc:
+                reason = "read timeout" if isinstance(exc, TimeoutError) else "request/read failed"
+                raise TransportError(
+                    f"{method} {url}: {reason} (after connect, {self.timeout:.1f}s): {exc}"
+                ) from exc
         finally:
             connection.close()
         try:

@@ -44,6 +44,7 @@ from repro.errors import (
     PermissionDeniedError,
     RefError,
     RemoteError,
+    ServiceUnavailableError,
     StorageError,
     TransferCorruptError,
     ValidationError,
@@ -57,6 +58,7 @@ from repro.utils.timeutil import now_utc
 from repro.vcs.remote import clone_repository, fork_repository, push
 from repro.vcs.repository import Repository
 from repro.vcs.transfer import (
+    RefAdvertisement,
     advertise_refs,
     apply_bundle,
     create_bundle,
@@ -80,6 +82,76 @@ class HostingPlatform:
         self._lock = threading.RLock()
         #: One lock per hosted slug, serialising worktree-mutating requests.
         self._repo_locks: dict[str, threading.RLock] = {}
+        #: Per-slug write-ahead journals (``repro.hub.durability.PushJournal``).
+        #: When a slug has one attached, every acknowledged mutation is
+        #: journalled *before* the response leaves — see :meth:`_journal_append`.
+        self._journals: dict[str, object] = {}
+        #: Optional :class:`repro.hub.lifecycle.ServingState`; a journal write
+        #: failure flips it to degraded so subsequent writes are shed upstream.
+        self._lifecycle = None
+
+    def attach_journal(self, slug: str, journal) -> None:
+        """Journal every acknowledged mutation of ``slug`` through ``journal``."""
+        self._journals[slug] = journal
+
+    def bind_lifecycle(self, state) -> None:
+        """Let the platform flip ``state`` to degraded on durability failures."""
+        self._lifecycle = state
+
+    def _journal_append(self, slug: str, bundle_data: bytes, force: bool = False) -> None:
+        """Persist an acknowledged mutation, or refuse the acknowledgement.
+
+        Called under the per-slug lock, *after* the ref transaction committed,
+        so journal order matches ref order — replay's prerequisite chain is
+        exactly the order clients observed.  If the disk refuses the append,
+        the in-memory state has moved but the client gets a retryable 503
+        instead of an acknowledgement: losing an *unacknowledged* mutation on
+        crash preserves the durability contract, and the hub goes degraded
+        (read-only) until a ``/healthz`` probe sees the disk take writes again.
+        """
+        journal = self._journals.get(slug)
+        if journal is None:
+            return
+        try:
+            journal.append(bundle_data, force=force)
+        except OSError as exc:
+            if self._lifecycle is not None:
+                self._lifecycle.mark_degraded(
+                    f"push journal write failed: {exc}", recoverable=True
+                )
+            raise ServiceUnavailableError(
+                f"could not persist the update durably ({exc}); the hub is "
+                "degraded (read-only) until its disk recovers",
+                retry_after=5.0,
+            ) from exc
+
+    def _journal_contents_commit(
+        self, repo: Repository, slug: str, branch: str, old_tip: Optional[str], commit_oid: str
+    ) -> None:
+        """Journal a contents-API commit as a single-commit push bundle.
+
+        The journal speaks one record shape — a push bundle — so a commit
+        made through put_file/delete_file is wrapped as the bundle the
+        equivalent push would have sent: the new commit thin against the
+        branch's previous tip, advertising only the branch it moved.  Replay
+        then needs no second code path.  Called under the per-slug lock.
+        """
+        if self._journals.get(slug) is None:
+            return
+        refs = RefAdvertisement(
+            branches={branch: commit_oid},
+            tags={},
+            default_branch=branch,
+            head_branch=None,
+            head_oid=None,
+        )
+        bundle_data = create_bundle(
+            repo.store,
+            [commit_oid],
+            haves=(old_tip,) if old_tip else (),
+            refs=refs,
+        )
+        self._journal_append(slug, bundle_data, force=False)
 
     def _repo_lock(self, slug: str) -> threading.RLock:
         """The per-slug mutation lock (created on first use)."""
@@ -287,6 +359,13 @@ class HostingPlatform:
             result = apply_bundle(repo.store, bundle_data)
             with self._repo_lock(slug):
                 updated = update_refs_from_bundle(repo, result.bundle, force=force)
+                # Journal unconditionally — even an apparent no-op.  A retry
+                # of a push whose first attempt moved refs but failed its
+                # journal append looks like a no-op here, yet *this* attempt
+                # is the one that gets acknowledged, so it must be the one
+                # that is durable.  Replay is idempotent; a duplicate record
+                # costs bytes, a missing one costs an acknowledged push.
+                self._journal_append(slug, bundle_data, force=force)
         except BundleChecksumError as exc:
             # Stream-level damage, not a semantic rejection: the sender's
             # copy is intact, so the client is told a re-send may succeed.
@@ -375,6 +454,7 @@ class HostingPlatform:
             original_branch = repo.current_branch
             if not repo.refs.has_branch(target_branch):
                 raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+            old_tip = repo.refs.branch_target(target_branch)
             if original_branch != target_branch:
                 repo.checkout(target_branch)
             try:
@@ -387,6 +467,7 @@ class HostingPlatform:
             finally:
                 if original_branch is not None and original_branch != target_branch:
                     repo.checkout(original_branch)
+            self._journal_contents_commit(repo, slug, target_branch, old_tip, commit_oid)
             return commit_oid
 
     def delete_file(
@@ -408,6 +489,7 @@ class HostingPlatform:
             original_branch = repo.current_branch
             if not repo.refs.has_branch(target_branch):
                 raise NotFoundError(f"{slug} has no branch {target_branch!r}")
+            old_tip = repo.refs.branch_target(target_branch)
             if original_branch != target_branch:
                 repo.checkout(target_branch)
             try:
@@ -423,6 +505,7 @@ class HostingPlatform:
             finally:
                 if original_branch is not None and original_branch != target_branch:
                     repo.checkout(original_branch)
+            self._journal_contents_commit(repo, slug, target_branch, old_tip, commit_oid)
             return commit_oid
 
     # ------------------------------------------------------------------

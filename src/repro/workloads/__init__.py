@@ -15,6 +15,8 @@
 from repro.workloads.generator import (
     FaultEvent,
     FleetFaultSchedule,
+    ServeChaosSchedule,
+    ServeKillEvent,
     SyntheticWorkload,
     WorkloadConfig,
     generate_branch_pair,
@@ -22,6 +24,7 @@ from repro.workloads.generator import (
     generate_fault_schedule,
     generate_operation_trace,
     generate_repository,
+    generate_serve_chaos_schedule,
     generate_tree_paths,
 )
 from repro.workloads.scenarios import (
@@ -37,6 +40,8 @@ from repro.workloads.scenarios import (
 __all__ = [
     "FaultEvent",
     "FleetFaultSchedule",
+    "ServeChaosSchedule",
+    "ServeKillEvent",
     "SyntheticWorkload",
     "WorkloadConfig",
     "generate_branch_pair",
@@ -44,6 +49,7 @@ __all__ = [
     "generate_fault_schedule",
     "generate_operation_trace",
     "generate_repository",
+    "generate_serve_chaos_schedule",
     "generate_tree_paths",
     "LISTING1_EXPECTED_KEYS",
     "DemoScenario",

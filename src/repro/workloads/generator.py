@@ -36,8 +36,11 @@ __all__ = [
     "BranchPairWorkload",
     "FaultEvent",
     "FleetFaultSchedule",
+    "ServeKillEvent",
+    "ServeChaosSchedule",
     "STORAGE_FAILPOINTS",
     "WIRE_FAILPOINTS",
+    "SERVE_FAILPOINTS",
     "generate_tree_paths",
     "generate_citation",
     "generate_citation_function",
@@ -46,6 +49,7 @@ __all__ = [
     "generate_operation_trace",
     "generate_history",
     "generate_fault_schedule",
+    "generate_serve_chaos_schedule",
 ]
 
 _FIRST_NAMES = ("Ada", "Chen", "Dana", "Edgar", "Grace", "Leshang", "Susan", "Wei", "Yinjun", "Yan")
@@ -325,12 +329,23 @@ WIRE_FAILPOINTS = (
 #: honour the full payload semantics; ``bundle.read`` is a data point whose
 #: damaged bytes the checksums must catch; the remaining wire points are
 #: pure control points (crash or raise).
+#: Failpoints on the serving hub's durability path (PR 8): the write-ahead
+#: journal append and the per-record replay during serve-startup recovery.
+SERVE_FAILPOINTS = (
+    "journal.append",
+    "serve.recover",
+)
+
 _FAILPOINT_ACTIONS: dict[str, tuple[str, ...]] = {
     **{name: ("crash", "truncate", "flip") for name in STORAGE_FAILPOINTS},
     "bundle.read": ("crash", "error", "truncate", "flip"),
     "bundle.apply": ("crash", "error"),
     "wire.request": ("crash", "error"),
     "wire.response": ("crash", "error"),
+    # The journal append honours full payload semantics (torn frame,
+    # silently flipped byte); replay is a pure control point.
+    "journal.append": ("crash", "truncate", "flip", "error"),
+    "serve.recover": ("crash", "error"),
 }
 
 
@@ -415,6 +430,69 @@ def generate_fault_schedule(
                 offset=rng.randint(0, max_offset),
             ))
     return FleetFaultSchedule(seed=config.seed, fleet_size=fleet_size, events=tuple(events))
+
+
+@dataclass(frozen=True)
+class ServeKillEvent:
+    """One restart cycle of a process-level serve chaos run.
+
+    The harness pushes until ``after_acks`` acknowledgements landed, then
+    kills the serving process — either from outside (``sigkill``, the
+    honest ``kill -9``) or from inside (``failpoint``: a
+    :class:`~repro.faults.SimulatedCrash` armed in the subprocess via
+    ``GITCITE_SERVE_FAULTS``, which ``gitcite serve`` turns into a hard
+    ``os._exit``).  Either way the next round restarts the server and
+    asserts every acknowledged push survived.
+    """
+
+    round: int
+    #: Kill once this many pushes of the round were acknowledged.
+    after_acks: int
+    kind: str  # "sigkill" | "failpoint"
+    failpoint: str = ""
+    #: Hit index for the env-armed failpoint ("failpoint" kind only).
+    at: int = 1
+
+    def env_entry(self) -> Optional[str]:
+        """The ``GITCITE_SERVE_FAULTS`` entry arming this event, if any."""
+        if self.kind != "failpoint":
+            return None
+        return f"{self.failpoint}:crash:{self.at}"
+
+
+@dataclass(frozen=True)
+class ServeChaosSchedule:
+    """A deterministic deal of kill points across serve restart cycles."""
+
+    seed: int
+    rounds: tuple[ServeKillEvent, ...]
+
+
+def generate_serve_chaos_schedule(
+    config: WorkloadConfig,
+    rounds: int = 3,
+    max_acks_between_kills: int = 3,
+    seed_offset: int = 8,
+) -> ServeChaosSchedule:
+    """Deal ``rounds`` deterministic kill events for a serve chaos run.
+
+    Rounds alternate deterministically between external ``SIGKILL`` and the
+    in-process serve failpoints, and the whole schedule — kill points, hit
+    indexes — replays identically from ``config.seed``.
+    """
+    rng = random.Random(config.seed + seed_offset)
+    events = []
+    for index in range(rounds):
+        kind = rng.choice(("sigkill", "failpoint"))
+        failpoint = rng.choice(SERVE_FAILPOINTS) if kind == "failpoint" else ""
+        events.append(ServeKillEvent(
+            round=index,
+            after_acks=rng.randint(1, max_acks_between_kills),
+            kind=kind,
+            failpoint=failpoint,
+            at=rng.randint(1, 2),
+        ))
+    return ServeChaosSchedule(seed=config.seed, rounds=tuple(events))
 
 
 # ---------------------------------------------------------------------------
