@@ -56,7 +56,7 @@ def test_mergecite_end_to_end(benchmark, citations_per_branch):
 
 
 @pytest.mark.parametrize("subtree_files", COPY_SIZES)
-def test_copycite_citation_migration(benchmark, subtree_files, sample_rng=random.Random(5)):
+def test_copycite_citation_migration(benchmark, subtree_files):
     """Pure citation migration cost of CopyCite vs copied subtree size."""
     rng = random.Random(11)
     source = CitationFunction.with_root(generate_citation(rng, repo_name="source"))

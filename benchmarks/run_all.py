@@ -624,7 +624,9 @@ def bench_multipack_cold_open(
         for _ in range(repeats):
             for key, root, use_midx in variants:
                 holder: dict[str, list[bytes]] = {}
-                elapsed = _timed(lambda: holder.__setitem__("out", cold_open(root, use_midx)))
+                elapsed = _timed(
+                    lambda r=root, m=use_midx: holder.__setitem__("out", cold_open(r, m))
+                )
                 timings[key] = min(timings[key], elapsed)
                 outputs[key] = holder["out"]
 

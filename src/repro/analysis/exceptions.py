@@ -1,0 +1,90 @@
+"""``exception-safety`` — no handler may absorb crashes or mask corruption.
+
+The PR 4 bug class: a broad handler on a serving path caught a storage
+corruption error and re-shaped it as a 404, hiding data loss behind a
+normal-looking response.  The PR 6 fault model sharpens the contract:
+:class:`repro.faults.SimulatedCrash` derives from ``BaseException``
+precisely so ``except Exception`` cannot absorb a simulated process
+death — which means a bare ``except:`` or ``except BaseException`` in
+the tree *would* absorb one, silently neutering the entire crash-sweep
+suite.
+
+This rule flags, anywhere under ``src/``:
+
+* ``except:`` and ``except BaseException`` (including inside a tuple) —
+  these can swallow ``SimulatedCrash``, ``KeyboardInterrupt`` and
+  ``SystemExit``;
+* ``except Exception`` (including inside a tuple) — broad enough to mask
+  ``StorageError``/``CorruptObjectError`` as something benign.
+
+A deliberate broad handler (a last-resort boundary that normalises
+arbitrary parse failures into a typed error, say) is annotated
+``# lint: broad-except-ok(reason)`` on the ``except`` line; the reason
+is required and shows up in reviews, which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Project, rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    """The broad exception names a handler catches (``['except:']`` if bare)."""
+    if handler.type is None:
+        return ["bare except:"]
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            names.append(f"except {node.id}")
+        elif isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            names.append(f"except {node.attr}")
+    return names
+
+
+@rule("exception-safety", "no bare/BaseException handlers; except Exception needs a pragma")
+def check_exception_safety(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.sources():
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_names(node)
+            if not broad:
+                continue
+            pragmas = source.node_pragmas(node)
+            reason = pragmas.get("broad-except-ok")
+            if reason == "":
+                findings.append(Finding(
+                    rule="exception-safety", path=source.rel, line=node.lineno,
+                    message="broad-except-ok pragma without a reason",
+                    hint="write `# lint: broad-except-ok(<why this handler is safe>)`",
+                ))
+                continue
+            for label in broad:
+                # Only ``except Exception`` is pragma-able; a bare handler or
+                # ``BaseException`` absorbs process deaths and has no safe use
+                # on these paths.
+                if reason and label == "except Exception":
+                    continue
+                consequence = (
+                    "can mask StorageError/CorruptObjectError as something benign"
+                    if label == "except Exception"
+                    else "can absorb SimulatedCrash and neuter the crash-sweep suite"
+                )
+                findings.append(Finding(
+                    rule="exception-safety",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=f"{label} {consequence}",
+                    hint=(
+                        "catch the narrowest exception type that can actually occur, "
+                        "or annotate `# lint: broad-except-ok(reason)` for a deliberate "
+                        "boundary handler"
+                    ),
+                ))
+    return findings

@@ -1,0 +1,202 @@
+"""``failpoint-coverage`` — the fault registry, its sites and its tests agree.
+
+The crash-sweep suite is only exhaustive if three sets line up:
+
+* **declared** — the canonical names in ``repro.faults._CANONICAL`` plus
+  every ``faults.register("...")`` literal in the tree;
+* **fired** — each declared name must have at least one instrumentation
+  site: a literal (or a module constant bound from ``register``) passed
+  to ``fire()`` / ``corrupt()`` / ``consume()``, or threaded as a
+  ``failpoint="..."`` argument / parameter default into the atomicio
+  helpers;
+* **armed** — each declared name must be armed by at least one test:
+  a literal first argument to ``faults.arm`` / ``faults.armed``, a
+  ``failpoint="..."`` keyword (fault-schedule events), or membership in
+  a *sweep module* — a test file that arms a non-literal name while
+  enumerating the registry (``all_hits``/``registered_failpoints``),
+  which by construction covers every name the scenario fires.
+
+A declared name nobody fires is dead instrumentation; a fired name
+nobody arms is an untested crash point; a fired name nobody declared is
+a typo that silently never triggers.  All three fail the build.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Project, SourceFile, rule
+
+_FIRE_FUNCS = {"fire", "corrupt", "consume"}
+_ARM_FUNCS = {"arm", "armed"}
+
+
+def _called_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _str_const(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _declared(project: Project) -> dict[str, tuple[str, int]]:
+    """``{failpoint: (rel path, line)}`` of every declared name."""
+    declared: dict[str, tuple[str, int]] = {}
+    for source in project.sources():
+        if source.module == f"{project.package}.faults":
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "_CANONICAL"
+                        for t in node.targets
+                    )
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                ):
+                    for element in node.value.elts:
+                        name = _str_const(element)
+                        if name:
+                            declared[name] = (source.rel, element.lineno)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and _called_name(node) == "register" and node.args:
+                name = _str_const(node.args[0])
+                if name and name not in declared:
+                    declared[name] = (source.rel, node.lineno)
+    return declared
+
+
+def _register_constants(source: SourceFile) -> dict[str, str]:
+    """Module constants bound from ``faults.register("...")`` calls."""
+    constants: dict[str, str] = {}
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and _called_name(node.value) == "register"
+            and node.value.args
+        ):
+            name = _str_const(node.value.args[0])
+            if name:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        constants[target.id] = name
+    return constants
+
+
+def _fired(project: Project) -> dict[str, list[tuple[str, int]]]:
+    """``{failpoint: [(rel path, line), ...]}`` of instrumentation sites."""
+    fired: dict[str, list[tuple[str, int]]] = {}
+
+    def note(name: str | None, source: SourceFile, line: int) -> None:
+        if name:
+            fired.setdefault(name, []).append((source.rel, line))
+
+    for source in project.sources():
+        if source.module == f"{project.package}.faults":
+            continue  # the registry itself is not an instrumentation site
+        constants = _register_constants(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                called = _called_name(node)
+                if called in _FIRE_FUNCS and node.args:
+                    argument = node.args[0]
+                    name = _str_const(argument)
+                    if name is None and isinstance(argument, ast.Name):
+                        name = constants.get(argument.id)
+                    note(name, source, node.lineno)
+                for keyword in node.keywords:
+                    if keyword.arg == "failpoint":
+                        note(_str_const(keyword.value), source, node.lineno)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # ``def flush(..., failpoint: str = "storage.flush")`` threads
+                # the name into atomicio at every call site.
+                arguments = node.args
+                positional = arguments.posonlyargs + arguments.args
+                defaults = arguments.defaults
+                for arg, default in zip(positional[len(positional) - len(defaults):], defaults):
+                    if arg.arg == "failpoint":
+                        note(_str_const(default), source, node.lineno)
+                for arg, default in zip(arguments.kwonlyargs, arguments.kw_defaults):
+                    if default is not None and arg.arg == "failpoint":
+                        note(_str_const(default), source, node.lineno)
+    return fired
+
+
+def _armed(project: Project) -> tuple[dict[str, list[tuple[str, int]]], list[str]]:
+    """Literal arms per name, plus sweep modules that cover every name."""
+    armed: dict[str, list[tuple[str, int]]] = {}
+    sweep_modules: list[str] = []
+    for source in project.test_sources():
+        dynamic_arm = False
+        enumerates = False
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name) and node.id in ("all_hits", "registered_failpoints"):
+                enumerates = True
+            if isinstance(node, ast.Attribute) and node.attr in ("all_hits", "registered_failpoints"):
+                enumerates = True
+            if not isinstance(node, ast.Call):
+                continue
+            called = _called_name(node)
+            if called in _ARM_FUNCS and node.args:
+                name = _str_const(node.args[0])
+                if name:
+                    armed.setdefault(name, []).append((source.rel, node.lineno))
+                else:
+                    dynamic_arm = True
+            for keyword in node.keywords:
+                if keyword.arg == "failpoint":
+                    name = _str_const(keyword.value)
+                    if name:
+                        armed.setdefault(name, []).append((source.rel, node.lineno))
+        if dynamic_arm and enumerates:
+            sweep_modules.append(source.rel)
+    return armed, sweep_modules
+
+
+@rule("failpoint-coverage", "every failpoint is declared, fired and armed by a test")
+def check_failpoint_coverage(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    declared = _declared(project)
+    if not declared:
+        return findings  # tree has no fault registry; nothing to check
+    fired = _fired(project)
+    armed, sweep_modules = _armed(project)
+
+    for name, (rel, line) in sorted(declared.items()):
+        if name not in fired:
+            findings.append(Finding(
+                rule="failpoint-coverage", path=rel, line=line,
+                message=f"failpoint {name!r} is declared but never fired",
+                hint="instrument the protected effect with fire()/corrupt(), or drop the name",
+            ))
+        if name not in armed and not sweep_modules:
+            findings.append(Finding(
+                rule="failpoint-coverage", path=rel, line=line,
+                message=f"failpoint {name!r} is never armed by any test",
+                hint="add a test that arms it (faults.arm/faults.armed) or a sweep over the registry",
+            ))
+
+    for name, sites in sorted(fired.items()):
+        if name not in declared:
+            rel, line = sites[0]
+            findings.append(Finding(
+                rule="failpoint-coverage", path=rel, line=line,
+                message=f"call site fires undeclared failpoint {name!r}",
+                hint="add it to faults._CANONICAL or register() it; a typo here never triggers",
+            ))
+    for name, sites in sorted(armed.items()):
+        if name not in declared:
+            rel, line = sites[0]
+            findings.append(Finding(
+                rule="failpoint-coverage", path=rel, line=line,
+                message=f"test arms undeclared failpoint {name!r}",
+                hint="the arm can never fire; fix the name or declare the failpoint",
+            ))
+    return findings

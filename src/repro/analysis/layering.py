@@ -1,0 +1,251 @@
+"""``layering`` — downward-only imports against ``tools/layers.toml``.
+
+The declaration file assigns module prefixes to named layers and orders
+the layers bottom-up; an import whose target sits in a *higher* layer
+than the importing module is an upward dependency and fails, unless the
+edge is explicitly allow-listed (``[[allow]]`` with a reason).  Imports
+within one layer are free — that is what a layer *is* — but module-scope
+import cycles are forbidden at any altitude: a cycle means there is no
+load order in which both modules exist, and "it happens to work because
+the symbol is touched late" is exactly the kind of accident this rule
+exists to catch.  Function-scope (lazy) imports are exempt from the
+cycle check but still direction-checked: deferring an upward import
+hides it from the interpreter, not from the architecture.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import LAYERS_PATH, Finding, Project, rule
+
+__all__ = ["collect_imports", "ImportEdge"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to a target module."""
+
+    source: str  # importing module
+    target: str  # imported module (absolute dotted name)
+    line: int
+    module_scope: bool  # directly executed at import time
+
+
+def _resolve_from(
+    node: ast.ImportFrom, importer: str, is_package: bool, known: set[str]
+) -> list[str]:
+    """Absolute target modules of a ``from X import a, b`` statement."""
+    if node.level:  # relative import: resolve against the importing package
+        parts = importer.split(".")
+        # A plain module drops its own name to reach its package; a package
+        # ``__init__`` *is* its package, so level 1 keeps it as the base.
+        drop = node.level - (1 if is_package else 0)
+        base = parts[: max(0, len(parts) - drop)]
+        prefix = ".".join(base + ([node.module] if node.module else []))
+    else:
+        prefix = node.module or ""
+    if not prefix:
+        return []
+    targets = []
+    for alias in node.names:
+        candidate = f"{prefix}.{alias.name}"
+        targets.append(candidate if candidate in known else prefix)
+    return targets
+
+
+def collect_imports(project: Project) -> list[ImportEdge]:
+    """Every intra-package import edge in the tree."""
+    known = project.module_names()
+    package = project.package
+    edges: list[ImportEdge] = []
+    for source in project.sources():
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                targets = _resolve_from(
+                    node, source.module, source.path.name == "__init__.py", known
+                )
+            else:
+                continue
+            in_function = any(
+                isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for ancestor in source.ancestors(node)
+            )
+            for target in targets:
+                if target == package or target.startswith(package + "."):
+                    edges.append(ImportEdge(
+                        source=source.module,
+                        target=target,
+                        line=node.lineno,
+                        module_scope=not in_function,
+                    ))
+    return edges
+
+
+def _layer_of(module: str, assignment: dict[str, str]) -> str | None:
+    """Longest-prefix layer lookup (``a.b.c`` before ``a.b`` before ``a``)."""
+    probe = module
+    while probe:
+        if probe in assignment:
+            return assignment[probe]
+        probe = probe.rpartition(".")[0]
+    return None
+
+
+def _allowed(source: str, target: str, allows: list[dict]) -> bool:
+    """Whether an ``[[allow]]`` entry covers this edge.
+
+    The *source* must match exactly — an entry names one specific module
+    that holds the reviewed exception, never a whole subtree (else
+    ``from = "repro.vcs"`` would silently bless every module under it).
+    The *target* matches by prefix, so allowing ``repro.citation`` covers
+    importing any of its submodules.
+    """
+    for entry in allows:
+        src = entry.get("from", "")
+        dst = entry.get("to", "")
+        if source == src and (target == dst or target.startswith(dst + ".")):
+            return True
+    return False
+
+
+def _find_cycles(edges: list[ImportEdge]) -> list[list[str]]:
+    """Strongly connected components of the module-scope graph (size > 1)."""
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        if edge.module_scope and edge.source != edge.target:
+            graph.setdefault(edge.source, set()).add(edge.target)
+            graph.setdefault(edge.target, set())
+    # Tarjan, iterative.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def strongconnect(start: str) -> None:
+        work = [(start, iter(sorted(graph[start])))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = low[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+@rule("layering", "imports point downward through the declared layer order")
+def check_layering(project: Project) -> list[Finding]:
+    config = project.layers_config
+    layers = config.get("layers", {})
+    order = layers.get("order", [])
+    assignment_tables = config.get("assign", {})
+    allows = config.get("allow", [])
+    findings: list[Finding] = []
+    layers_rel = LAYERS_PATH.as_posix()
+    if not order or not assignment_tables:
+        findings.append(Finding(
+            rule="layering", path=layers_rel, line=1,
+            message="missing or empty layer declaration",
+            hint="declare [layers] order and [assign] tables in tools/layers.toml",
+        ))
+        return findings
+    rank = {layer: position for position, layer in enumerate(order)}
+    assignment: dict[str, str] = {}
+    for layer, prefixes in assignment_tables.items():
+        if layer not in rank:
+            findings.append(Finding(
+                rule="layering", path=layers_rel, line=1,
+                message=f"layer {layer!r} is assigned modules but missing from the order",
+            ))
+            continue
+        for prefix in prefixes:
+            assignment[prefix] = layer
+
+    edges = collect_imports(project)
+    rel_of = {source.module: source.rel for source in project.sources()}
+
+    # Every module must belong to a declared layer.
+    for module in sorted(project.module_names()):
+        if _layer_of(module, assignment) is None:
+            findings.append(Finding(
+                rule="layering", path=rel_of[module], line=1,
+                message=f"module {module} is not assigned to any layer",
+                hint=f"add it to an [assign] table in {layers_rel}",
+            ))
+
+    seen: set[tuple[str, str]] = set()
+    for edge in edges:
+        source_layer = _layer_of(edge.source, assignment)
+        target_layer = _layer_of(edge.target, assignment)
+        if source_layer is None or target_layer is None:
+            continue  # the unassigned-module finding already covers it
+        if rank.get(target_layer, 0) <= rank.get(source_layer, 0):
+            continue
+        if _allowed(edge.source, edge.target, allows):
+            continue
+        key = (edge.source, edge.target)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(Finding(
+            rule="layering", path=rel_of[edge.source], line=edge.line,
+            message=(
+                f"upward import: {edge.source} (layer {source_layer!r}) "
+                f"imports {edge.target} (layer {target_layer!r})"
+            ),
+            hint=(
+                "invert the dependency (move the shared code down a layer) "
+                f"or allow-list the edge with a reason in {layers_rel}"
+            ),
+        ))
+
+    for component in _find_cycles(edges):
+        anchor = component[0]
+        line = next(
+            (e.line for e in edges
+             if e.module_scope and e.source == anchor and e.target in component),
+            1,
+        )
+        findings.append(Finding(
+            rule="layering", path=rel_of.get(anchor, layers_rel), line=line,
+            message="module-scope import cycle: " + " -> ".join(component + [anchor]),
+            hint="break the cycle with a downward refactor or a function-scope import",
+        ))
+    return findings

@@ -1,0 +1,212 @@
+"""``lock-discipline`` — a static race detector for guarded attributes.
+
+The PR 7 concurrency contract says which attributes are protected by
+which lock; this rule makes the contract machine-checked.  An attribute
+whose initialising assignment carries a ``# guarded-by: <lock>`` comment
+may only be mutated:
+
+* inside a ``with self.<lock>:`` block (any of the comma-separated lock
+  names counts — a ``threading.Condition`` built on the same lock is a
+  legitimate alias);
+* in ``__init__`` (the object is not yet published to other threads);
+* in a method whose ``def`` line carries ``# lint: holds-lock(<lock>)``
+  (a private helper whose documented contract is "caller holds it");
+* on a line (or in a method) carrying ``# lint: unguarded-ok(reason)``.
+
+Guarded attributes are inherited: a subclass mutating an attribute its
+base class guards is held to the base's contract (the pack backend's
+``mutation_counter`` bumps are checked against
+``ObjectBackend._write_lock``).  Reads are deliberately out of scope —
+the architecture is single-writer/many-readers, and readers take no
+lock by design.
+
+Mutations recognised: plain/augmented/annotated assignment to
+``self.X`` or ``self.X[...]``, ``del`` of either, and calls to mutating
+container methods (``append``/``pop``/``update``/…) on ``self.X``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import Finding, Project, SourceFile, rule
+
+__all__ = ["MUTATOR_METHODS"]
+
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "appendleft", "popleft",
+    "sort", "reverse", "move_to_end",
+})
+
+
+def _self_attribute(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``X`` (possibly through a subscript ``self.X[...]``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _collect_guarded(source: SourceFile, class_node: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """``{attribute: (lock, ...)}`` from ``# guarded-by:`` comments."""
+    guarded: dict[str, tuple[str, ...]] = {}
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        locks = source.guarded_locks(node.lineno)
+        if not locks:
+            continue
+        for target in targets:
+            attribute = _self_attribute(target)
+            if attribute is not None:
+                guarded[attribute] = locks
+    return guarded
+
+
+def _walk_method(method: ast.AST):
+    """Walk a method body without descending into nested ``def``/``class``."""
+    stack = list(ast.iter_child_nodes(method))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutations(method: ast.AST) -> list[tuple[ast.AST, str, str]]:
+    """``(node, attribute, kind)`` for every ``self.X`` mutation in ``method``."""
+    found: list[tuple[ast.AST, str, str]] = []
+    for node in _walk_method(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attribute = _self_attribute(target)
+                if attribute:
+                    found.append((node, attribute, "assignment"))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            attribute = _self_attribute(node.target)
+            if attribute:
+                found.append((node, attribute, "assignment"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attribute = _self_attribute(target)
+                if attribute:
+                    found.append((node, attribute, "deletion"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                attribute = _self_attribute(func.value)
+                if attribute:
+                    found.append((node, attribute, f".{func.attr}() call"))
+    return found
+
+
+def _held_locks(source: SourceFile, node: ast.AST, method: ast.AST) -> set[str]:
+    """Lock attributes held by enclosing ``with self.<lock>:`` blocks."""
+    held: set[str] = set()
+    for ancestor in source.ancestors(node):
+        if ancestor is method:
+            break
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expr = item.context_expr
+                # ``with self._lock:`` and ``with self._cond:`` both count;
+                # ``with self._lock.something():`` does not.
+                attribute = _self_attribute(expr)
+                if attribute:
+                    held.add(attribute)
+    return held
+
+
+@rule("lock-discipline", "guarded attributes are only mutated under their lock")
+def check_lock_discipline(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    # Pass 1: every class with guarded attributes, keyed by bare class name
+    # so base-class contracts can be resolved across modules.
+    guarded_by_class: dict[str, dict[str, tuple[str, ...]]] = {}
+    bases_by_class: dict[str, list[str]] = {}
+    class_nodes: list[tuple[SourceFile, ast.ClassDef]] = []
+    for source in project.sources():
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_nodes.append((source, node))
+            guarded = _collect_guarded(source, node)
+            if guarded:
+                guarded_by_class.setdefault(node.name, {}).update(guarded)
+            names = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    names.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    names.append(base.attr)
+            bases_by_class.setdefault(node.name, []).extend(names)
+
+    def resolved_guarded(class_name: str, seen: frozenset[str] = frozenset()) -> dict[str, tuple[str, ...]]:
+        if class_name in seen:
+            return {}
+        merged: dict[str, tuple[str, ...]] = {}
+        for base in bases_by_class.get(class_name, []):
+            merged.update(resolved_guarded(base, seen | {class_name}))
+        merged.update(guarded_by_class.get(class_name, {}))
+        return merged
+
+    # Pass 2: check every method of every class against the merged contract.
+    for source, class_node in class_nodes:
+        guarded = resolved_guarded(class_node.name)
+        if not guarded:
+            continue
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction precedes publication
+            method_pragmas = source.node_pragmas(method)
+            if "unguarded-ok" in method_pragmas:
+                continue
+            held_by_contract = {
+                lock.strip()
+                for lock in method_pragmas.get("holds-lock", "").split(",")
+                if lock.strip()
+            }
+            for node, attribute, kind in _mutations(method):
+                locks = guarded.get(attribute)
+                if not locks:
+                    continue
+                if "unguarded-ok" in source.pragmas(node.lineno):
+                    continue
+                held = _held_locks(source, node, method) | held_by_contract
+                if held & set(locks):
+                    continue
+                findings.append(Finding(
+                    rule="lock-discipline",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{class_node.name}.{method.name} mutates guarded attribute "
+                        f"{attribute!r} ({kind}) without holding "
+                        f"{' or '.join(f'self.{lock}' for lock in locks)}"
+                    ),
+                    hint=(
+                        f"wrap the mutation in `with self.{locks[0]}:`, or annotate the "
+                        "method `# lint: holds-lock(...)` if its callers hold the lock"
+                    ),
+                ))
+    return findings

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.citation.function import CitationFunction
+from repro.errors import InvalidPathError
 from repro.utils.paths import ROOT, path_parent, relative_to
 from repro.vcs.diff import TreeDiff
 
@@ -55,7 +56,7 @@ def _infer_directory_moves(renames: Mapping[str, str]) -> dict[str, str]:
         while old_parent != ROOT:
             try:
                 suffix = relative_to(old_path, old_parent)
-            except Exception:  # pragma: no cover - defensive, relative_to cannot fail here
+            except InvalidPathError:  # pragma: no cover - defensive, old_parent is an ancestor by construction
                 break
             if new_path.endswith("/" + suffix):
                 new_parent = new_path[: -(len(suffix) + 1)] or ROOT

@@ -1,0 +1,77 @@
+"""``gitcite analyze`` — run the static invariant rules over this tree.
+
+The analysis engine (``repro.analysis``) checks the invariants the test
+suite can only spot-check: downward-only layer imports, the guarded-by
+lock contract, atomicio-only durable writes, exception-safety, failpoint
+coverage and docs consistency.  CI runs this as its own job; developers
+run it locally the same way::
+
+    gitcite analyze                      # all rules, baseline applied
+    gitcite analyze --rule layering      # one rule
+    gitcite analyze --list-rules         # what exists
+    gitcite analyze --baseline           # accept current findings
+
+Exit status: 0 when no (non-baselined) finding remains, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import all_rules, run_analysis, write_baseline
+from repro.analysis.core import BASELINE_PATH, LAYERS_PATH
+from repro.errors import CLIError
+
+__all__ = ["cmd_analyze", "default_root"]
+
+
+def default_root() -> Path:
+    """The repository this installation was loaded from (src/ layout)."""
+    # .../src/repro/cli/analyze.py -> parents[3] == the repo root.
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / LAYERS_PATH).is_file():
+        return candidate
+    return Path.cwd()
+
+
+def _print(message: str = "") -> None:
+    sys.stdout.write(message + "\n")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, description in all_rules().items():
+            _print(f"{rule_id:20} {description}")
+        return 0
+    root = Path(args.root).resolve() if args.root else default_root()
+    if not (root / "src").is_dir():
+        raise CLIError(f"{root} does not look like an analyzable tree (no src/ directory)")
+    baseline_path = root / BASELINE_PATH
+    try:
+        result = run_analysis(
+            root,
+            rules=args.rules or None,
+            baseline=None if args.baseline else baseline_path,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+
+    if args.baseline:
+        write_baseline(baseline_path, result.findings)
+        _print(
+            f"Baselined {len(result.findings)} finding(s) into "
+            f"{baseline_path.relative_to(root)}"
+        )
+        return 0
+
+    for finding in result.findings:
+        _print(finding.render())
+    suppressed = f" ({result.suppressed} baselined)" if result.suppressed else ""
+    verdict = "clean" if not result.findings else f"{len(result.findings)} finding(s)"
+    _print(
+        f"analyze: {verdict}{suppressed} across {len(result.rules_run)} rule(s): "
+        + ", ".join(result.rules_run)
+    )
+    return 0 if not result.findings else 1

@@ -9,7 +9,7 @@ from typing import Optional, Sequence
 from repro.errors import CLIError, ReproError
 from repro.citation.conflict import available_strategies
 from repro.formats import available_formats
-from repro.cli import bundle, commands, fsck, serve, storage
+from repro.cli import analyze, bundle, commands, fsck, serve, storage
 from repro.vcs.storage import backend_kinds
 
 __all__ = ["build_parser", "main"]
@@ -208,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight requests at shutdown (default: 10)")
     p.set_defaults(func=serve.cmd_serve)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the static invariant rules (layering, locks, durability, ...) over this tree",
+    )
+    p.add_argument("--root", help="repository root to analyze (default: this installation's tree)")
+    p.add_argument("--rule", dest="rules", action="append",
+                   help="rule id to run (repeatable; default: all rules)")
+    p.add_argument("--baseline", action="store_true",
+                   help="accept the current findings into tools/analysis_baseline.json")
+    p.add_argument("--list-rules", action="store_true", help="list the registered rules and exit")
+    p.set_defaults(func=analyze.cmd_analyze)
 
     p = sub.add_parser("storage", help="object-store maintenance (repack / gc / migrate)")
     storage_sub = p.add_subparsers(dest="storage_command", required=True)

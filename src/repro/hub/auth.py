@@ -28,8 +28,11 @@ class TokenAuthority:
     """Issues and validates personal access tokens."""
 
     def __init__(self) -> None:
+        # ``_tokens`` is deliberately lock-free: every access is one atomic
+        # dict operation and token values are unique, so the worst
+        # interleaving is a revoke racing an issue of a *different* key.
         self._tokens: dict[str, AccessToken] = {}
-        self._issued: dict[str, int] = {}
+        self._issued: dict[str, int] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def issue(self, user: User, scopes: tuple[str, ...] = ("repo",),

@@ -82,17 +82,19 @@ class ServingState:
         self.max_in_flight = max(1, int(max_in_flight))
         self.request_deadline = float(request_deadline)
         self._lock = threading.Lock()
-        self._in_flight = 0
-        self._draining = False
-        self._degraded_reason: Optional[str] = None
-        self._degraded_recoverable = True
+        self._in_flight = 0  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._degraded_reason: Optional[str] = None  # guarded-by: _lock
+        self._degraded_recoverable = True  # guarded-by: _lock
+        # ``_idle`` shares the state lock, so waiting on the condition and
+        # checking ``_in_flight`` are one critical section.
         self._idle = threading.Condition(self._lock)
         #: Observability counters (exact under the lock).
-        self.shed_overload = 0
-        self.shed_draining = 0
-        self.shed_degraded = 0
-        self.deadline_overruns = 0
-        self.requests_served = 0
+        self.shed_overload = 0  # guarded-by: _lock
+        self.shed_draining = 0  # guarded-by: _lock
+        self.shed_degraded = 0  # guarded-by: _lock
+        self.deadline_overruns = 0  # guarded-by: _lock
+        self.requests_served = 0  # guarded-by: _lock
 
     # -- mode ----------------------------------------------------------
 

@@ -77,14 +77,14 @@ class RateLimiter:
         self.enabled = enabled
         self.window_seconds = window_seconds
         self.clock = clock
-        self._used: dict[str, int] = {}
-        self._window_start: dict[str, float] = {}
+        self._used: dict[str, int] = {}  # guarded-by: _lock
+        self._window_start: dict[str, float] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _limit_for(self, identity: str) -> int:
         return self.anonymous_limit if identity == "anonymous" else self.authenticated_limit
 
-    def _roll_window(self, key: str) -> None:
+    def _roll_window(self, key: str) -> None:  # lint: holds-lock(_lock)
         if self.clock is None:
             return
         start = self._window_start.get(key)

@@ -42,7 +42,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import CitationFileError
+from repro.errors import CitationFileError, VCSError
 from repro.utils import atomicio
 from repro.utils.hashing import object_id
 from repro.utils.jsonutil import stable_loads
@@ -505,7 +505,9 @@ def _references(type_name: str, payload: bytes) -> list[str]:
         return []
     try:
         obj = deserialize_object(type_name, payload)
-    except Exception:
+    except VCSError:
+        # Unparsable objects carry no outgoing edges; the object-integrity
+        # pass reports the corruption itself.
         return []
     if type_name == "commit":
         return [obj.tree_oid, *obj.parent_oids]
@@ -605,7 +607,7 @@ def _check_citations(scan: _ScanState, report: FsckReport) -> None:
                 continue
             try:
                 commit = deserialize_object(type_name, payload)
-            except Exception as exc:
+            except VCSError as exc:
                 report.findings.append(Finding(
                     "connectivity", "error", f"commit does not parse: {exc}", oid=oid
                 ))
@@ -616,7 +618,7 @@ def _check_citations(scan: _ScanState, report: FsckReport) -> None:
                 continue
             try:
                 entries = deserialize_object(tree[0], tree[1]).entries
-            except Exception as exc:
+            except VCSError as exc:
                 report.findings.append(Finding(
                     "connectivity", "error", f"tree does not parse: {exc}", oid=commit.tree_oid
                 ))

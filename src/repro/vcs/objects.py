@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from datetime import datetime
 from typing import Union
 
-from repro.errors import InvalidObjectError
+from repro.errors import InvalidObjectError, VCSError
 from repro.utils.hashing import object_id
 from repro.utils.timeutil import format_timestamp, parse_timestamp
 
@@ -308,9 +308,23 @@ _TYPE_REGISTRY: dict[str, type] = {
 
 
 def deserialize_object(object_type: str, payload: bytes) -> VCSObject:
-    """Reconstruct an object of the given type from its serialised payload."""
+    """Reconstruct an object of the given type from its serialised payload.
+
+    Any malformed payload — truncated, mis-encoded, structurally wrong —
+    surfaces as :class:`InvalidObjectError`, so callers feeding untrusted
+    bytes through here (fsck auditing reachable objects, the wire layer
+    applying a bundle) can catch one typed error instead of guessing which
+    ``ValueError``/``KeyError``/``UnicodeDecodeError`` a parser might leak.
+    """
     try:
         cls = _TYPE_REGISTRY[object_type]
     except KeyError as exc:
         raise InvalidObjectError(f"unknown object type: {object_type!r}") from exc
-    return cls.deserialize(payload)
+    try:
+        return cls.deserialize(payload)
+    except VCSError:
+        raise  # already typed (InvalidObjectError and friends)
+    except Exception as exc:  # lint: broad-except-ok(normalises arbitrary parser failures into the typed InvalidObjectError; VCSError re-raised above)
+        raise InvalidObjectError(
+            f"malformed {object_type} payload: {exc.__class__.__name__}: {exc}"
+        ) from exc

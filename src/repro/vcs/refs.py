@@ -52,15 +52,15 @@ class RefStore:
 
     def __init__(self, default_branch: str = DEFAULT_BRANCH) -> None:
         validate_ref_name(default_branch)
-        self._branches: dict[str, str] = {}
-        self._tags: dict[str, str] = {}
-        self._head_branch: Optional[str] = default_branch
-        self._head_oid: Optional[str] = None
+        self._branches: dict[str, str] = {}  # guarded-by: lock
+        self._tags: dict[str, str] = {}  # guarded-by: lock
+        self._head_branch: Optional[str] = default_branch  # guarded-by: lock
+        self._head_oid: Optional[str] = None  # guarded-by: lock
         self.default_branch = default_branch
         #: Guards every mutation (re-entrant: mutators may nest).  Readers
         #: do not take it — see the module docstring.
         self.lock = threading.RLock()
-        self._version = 0
+        self._version = 0  # guarded-by: lock
 
     @property
     def version(self) -> int:
@@ -72,7 +72,7 @@ class RefStore:
         """
         return self._version
 
-    def _bump(self) -> None:
+    def _bump(self) -> None:  # lint: holds-lock(lock)
         self._version += 1
 
     # -- branches ----------------------------------------------------------

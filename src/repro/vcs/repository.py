@@ -167,14 +167,14 @@ class Repository:
     def open(cls, directory, storage: str | None = None) -> "Repository":
         """Open a gitcite working copy saved on disk.
 
-        Delegates to :func:`repro.cli.storage.load_repository`; ``storage``
+        Delegates to :func:`repro.vcs.workingcopy.load_repository`; ``storage``
         optionally overrides the *layout name* recorded in the working copy's
         state file — ``"memory"``, ``"loose"`` or ``"pack"`` (the objects
         always live under the working copy's ``.gitcite/``, so unlike
         :meth:`init` no ``kind:<dir>`` specs or backend instances are
         accepted) — and the working copy is migrated in place.
         """
-        from repro.cli.storage import load_repository
+        from repro.vcs.workingcopy import load_repository
 
         return load_repository(directory, storage=storage)
 

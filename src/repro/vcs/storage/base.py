@@ -46,7 +46,7 @@ class ObjectBackend(ABC):
 
     def __init__(self) -> None:
         #: Monotonic counter bumped by every state-changing operation.
-        self.mutation_counter = 0
+        self.mutation_counter = 0  # guarded-by: _write_lock
         #: Serialises mutators (re-entrant: flush inside repack inside gc).
         #: Readers never take it — see the module docstring.
         self._write_lock = threading.RLock()

@@ -50,13 +50,13 @@ class LooseFileBackend(ObjectBackend):
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise StorageError(f"cannot create loose object directory {self.root}: {exc}") from exc
-        self._known: set[str] = set()
+        self._known: set[str] = set()  # guarded-by: _write_lock
         # A ``.tmp-*`` visible at open time is a crashed writer's torn file
         # (live writes exist only between our own write and its rename).
         atomicio.sweep_orphan_tmp(self.root, recursive=True)
         self._scan()
 
-    def _scan(self) -> None:
+    def _scan(self) -> None:  # lint: unguarded-ok(runs from __init__ before the backend is published)
         """Populate the oid set from the on-disk shard directories.
 
         Only well-formed ``ab``/``cdef…`` (2 + 38 hex characters) names are

@@ -24,7 +24,7 @@ class MemoryBackend(ObjectBackend):
 
     def __init__(self) -> None:
         super().__init__()
-        self._objects: dict[str, tuple[str, bytes]] = {}
+        self._objects: dict[str, tuple[str, bytes]] = {}  # guarded-by: _write_lock
 
     def write(self, oid: str, type_name: str, payload: bytes) -> bool:
         with self._write_lock:
@@ -64,7 +64,7 @@ class MemoryBackend(ObjectBackend):
         # Snapshot: a write landing mid-iteration must not blow up the caller.
         return iter(list(self._objects))
 
-    def _delete(self, oid: str) -> None:
+    def _delete(self, oid: str) -> None:  # lint: holds-lock(_write_lock)
         del self._objects[oid]
 
     def total_payload_size(self) -> int:

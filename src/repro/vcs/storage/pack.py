@@ -208,7 +208,7 @@ class _HandlePool:
 
     def __init__(self, limit: int = _DEFAULT_HANDLE_LIMIT) -> None:
         self.limit = max(1, limit)
-        self._handles: "OrderedDict[Path, BinaryIO]" = OrderedDict()
+        self._handles: "OrderedDict[Path, BinaryIO]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def acquire(self, path: Path) -> BinaryIO:
@@ -639,7 +639,7 @@ class PackBackend(ObjectBackend):
         # never reached their rename) are garbage by construction: any
         # ``.tmp-*`` visible at open time has no live writer behind it.
         atomicio.sweep_orphan_tmp(self.root)
-        self._pending: dict[str, tuple[str, bytes]] = {}
+        self._pending: dict[str, tuple[str, bytes]] = {}  # guarded-by: _write_lock
         self._pool = _HandlePool(handle_limit)
         self._use_midx = use_midx
         packs: list[_PackFile] = []
@@ -663,7 +663,7 @@ class PackBackend(ObjectBackend):
         #: The lock-free read view: an immutable (packs, midx) pair, always
         #: replaced with a single reference assignment so readers can never
         #: observe a midx whose pack numbers index a different pack list.
-        self._state: tuple[tuple[_PackFile, ...], _MultiPackIndex | None] = (
+        self._state: tuple[tuple[_PackFile, ...], _MultiPackIndex | None] = (  # guarded-by: _write_lock
             tuple(packs), midx,
         )
 

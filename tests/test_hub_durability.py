@@ -304,8 +304,8 @@ class TestRecovery:
 class _StubApi:
     """A RestApi stand-in with scripted responses."""
 
-    def __init__(self, response: ApiResponse = ApiResponse(status=200, json={})):
-        self.response = response
+    def __init__(self, response: ApiResponse | None = None):
+        self.response = response if response is not None else ApiResponse(status=200, json={})
         self.calls = 0
 
     def request(self, method, url, token=None, payload=None):

@@ -161,10 +161,10 @@ class TestInterchangeability:
         rng = random.Random(20260730)
         signature = Signature(name="bot", email="bot@example.org", timestamp=_STAMP)
         objects = []
-        for i in range(400):
+        for _ in range(400):
             size = rng.randint(0, 4000)
             objects.append(Blob(bytes(rng.getrandbits(8) for _ in range(size))))
-        for i in range(40):
+        for _ in range(40):
             sample = rng.sample(objects[:400], k=rng.randint(1, 12))
             objects.append(Tree(entries=tuple(
                 TreeEntry(name=f"f{j}", oid=blob.oid) for j, blob in enumerate(sample)
@@ -308,7 +308,7 @@ class TestPackSpecifics:
         rng = random.Random(7)
         backend = PackBackend(tmp_path / "bigrepack")
         store = ObjectStore(backend)
-        for i in range(12):  # several flushes -> several packs
+        for _ in range(12):  # several flushes -> several packs
             blobs = [
                 Blob(bytes(rng.getrandbits(8) for _ in range(rng.randint(10, 2000))))
                 for _ in range(25)

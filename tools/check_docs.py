@@ -1,15 +1,9 @@
-"""The CI docs gate: keep the reference docs consistent with the tree.
+"""Back-compat shim: the docs gate now lives in the analysis engine.
 
-Two checks, both cheap and deliberately dumb:
-
-1. **Coverage** — every package under ``src/repro/`` (and every
-   top-level cross-cutting module) must be mentioned in
-   ``docs/ARCHITECTURE.md``, so the layer map cannot silently rot as
-   subsystems are added.
-2. **Links** — every relative markdown link in ``README.md`` and
-   ``docs/*.md`` must resolve to a real file (anchors are stripped;
-   ``http(s):``/``mailto:`` links are skipped), so a renamed or deleted
-   doc fails CI instead of 404ing readers.
+The coverage and link checks moved into ``repro.analysis.docs`` as the
+``docs-consistency`` rule of ``gitcite analyze``, so CI runs one analysis
+entry point for every static invariant.  This script survives for muscle
+memory and old CI configs; it simply runs that one rule.
 
 Usage::
 
@@ -18,78 +12,26 @@ Usage::
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
-_ARCHITECTURE = _REPO_ROOT / "docs" / "ARCHITECTURE.md"
-
-_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
-
-
-def _repro_packages() -> list[str]:
-    """Package directories and top-level modules under ``src/repro``."""
-    root = _REPO_ROOT / "src" / "repro"
-    names: list[str] = []
-    for entry in sorted(root.iterdir()):
-        if entry.is_dir() and (entry / "__init__.py").exists():
-            names.append(entry.name)
-        elif entry.suffix == ".py" and entry.name != "__init__.py":
-            names.append(entry.stem)
-    return names
-
-
-def check_architecture_coverage() -> list[str]:
-    if not _ARCHITECTURE.exists():
-        return [f"{_ARCHITECTURE.relative_to(_REPO_ROOT)}: missing"]
-    text = _ARCHITECTURE.read_text(encoding="utf-8")
-    violations = []
-    for name in _repro_packages():
-        if f"repro.{name}" not in text and name not in text:
-            violations.append(
-                f"docs/ARCHITECTURE.md: package repro.{name} is not mentioned"
-            )
-    return violations
-
-
-def _doc_files() -> list[Path]:
-    files = [_REPO_ROOT / "README.md"]
-    docs = _REPO_ROOT / "docs"
-    if docs.is_dir():
-        files.extend(sorted(docs.glob("*.md")))
-    return [path for path in files if path.exists()]
-
-
-def check_links() -> list[str]:
-    violations = []
-    for doc in _doc_files():
-        text = doc.read_text(encoding="utf-8")
-        for match in _LINK_PATTERN.finditer(text):
-            target = match.group(1)
-            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (doc.parent / path).resolve()
-            if not resolved.exists():
-                violations.append(
-                    f"{doc.relative_to(_REPO_ROOT)}: broken link {target!r}"
-                )
-    return violations
 
 
 def main() -> int:
-    violations = check_architecture_coverage() + check_links()
-    if violations:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.analysis import run_analysis
+    from repro.analysis.core import BASELINE_PATH
+
+    result = run_analysis(
+        _REPO_ROOT, rules=["docs-consistency"], baseline=_REPO_ROOT / BASELINE_PATH
+    )
+    if result.findings:
         print("DOCS CHECK FAILED:", file=sys.stderr)
-        for violation in violations:
-            print(f"  - {violation}", file=sys.stderr)
+        for finding in result.findings:
+            print(f"  - {finding.render()}", file=sys.stderr)
         return 1
-    packages = ", ".join(_repro_packages())
-    print(f"docs check passed ({len(_doc_files())} file(s); packages: {packages})")
+    print("docs check passed (docs-consistency rule clean)")
     return 0
 
 
